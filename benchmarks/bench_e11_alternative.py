@@ -1,0 +1,81 @@
+"""E11 — Section 4's alternative packing approach.
+
+Paper claim: running Θ(ε⁻² log ñ) Elkin–Neiman decompositions,
+re-weighting variables by how many ensemble solutions select them, and
+applying a *weighted* LDD also yields a (1 − O(ε))-approximation w.h.p.
+— an anonymous-reviewer alternative to the sampling preparation.
+
+Measured: solution quality of the alternative vs the main Theorem 1.2
+pipeline on shared instances; the ensemble's per-member in-expectation
+quality (the Chernoff-averaging premise).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import claim
+from repro.analysis import RatioSummary
+from repro.core import alternative_packing, solve_packing
+from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph
+from repro.ilp import max_independent_set_ilp, solve_packing_exact
+from repro.util.tables import Table
+
+EPS = 0.3
+
+
+def test_e11_alternative_vs_main(benchmark, cache):
+    rng = np.random.default_rng(6)
+    instances = [
+        ("cycle-60", max_independent_set_ilp(cycle_graph(60))),
+        ("grid-6x8", max_independent_set_ilp(grid_graph(6, 8))),
+        ("ER-40", max_independent_set_ilp(erdos_renyi_connected(40, 0.09, rng))),
+    ]
+    table = Table(
+        [
+            "instance",
+            "opt",
+            "main min ratio",
+            "alt min ratio",
+            "alt ensemble mean ratio",
+        ],
+        title="E11: Section 4 alternative approach vs Theorem 1.2 (eps=0.3)",
+    )
+    for name, inst in instances:
+        opt = solve_packing_exact(inst, cache=cache).weight
+        main_ratios, alt_ratios, ens_means = [], [], []
+        for seed in range(4):
+            main = solve_packing(inst, EPS, seed=seed, cache=cache)
+            alt = alternative_packing(
+                inst, EPS, seed=seed, ensemble_cap=16, cache=cache
+            )
+            assert inst.is_feasible(alt.chosen)
+            main_ratios.append(main.weight / opt)
+            alt_ratios.append(alt.weight / opt)
+            ens_means.append(
+                sum(alt.ensemble_weights) / len(alt.ensemble_weights) / opt
+            )
+        table.add_row(
+            [
+                name,
+                f"{opt:.0f}",
+                f"{min(main_ratios):.3f}",
+                f"{min(alt_ratios):.3f}",
+                f"{sum(ens_means) / len(ens_means):.3f}",
+            ]
+        )
+        assert min(main_ratios) >= (1 - EPS) - 1e-9, name
+        # Alternative analysis gives (1 - O(eps)): allow the 2x constant.
+        assert min(alt_ratios) >= (1 - 2 * EPS) - 1e-9, name
+        # Ensemble members are (1-eps)-approx in expectation (EN route).
+        assert sum(ens_means) / len(ens_means) >= 1 - 2 * EPS, name
+    table.print()
+    claim(
+        "the ensemble-reweighting alternative reaches (1-O(eps))·OPT "
+        "w.h.p. (Section 4, 'An Alternative Approach')",
+        "alternative min ratios within the O(eps) envelope of the main "
+        "algorithm on every instance",
+    )
+    inst = max_independent_set_ilp(cycle_graph(40))
+    benchmark(
+        lambda: alternative_packing(inst, EPS, seed=0, ensemble_cap=8, cache=cache)
+    )

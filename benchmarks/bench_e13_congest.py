@@ -1,0 +1,133 @@
+"""E13 (extension) — CONGEST bandwidth audit of the LOCAL algorithms.
+
+Paper context (Section 6, open questions): extending the algorithms to
+the CONGEST model is open; a straightforward port of the shift-based
+decompositions adds an O(log n) factor because each vertex participates
+in up to O(log n) overlapping floods.
+
+Measured: the actual message sizes of the message-passing Elkin–Neiman
+execution against the c·log₂(n) CONGEST budget, as n grows — showing
+*how far* the LOCAL implementation is from CONGEST-ready (the per-token
+payload is O(log n), but token batching makes messages super-budget
+exactly when floods overlap).
+"""
+
+import pytest
+
+from conftest import claim
+from repro.decomp import elkin_neiman_message_ldd, sample_shifts
+from repro.graphs import cycle_graph, grid_graph
+from repro.local import audit_congest
+from repro.local.algorithms import eccentricities_distributed
+from repro.local.engine import run_synchronous
+from repro.util.tables import Table
+
+
+def _audit_en(n: int, lam: float, seed: int):
+    """Run message-passing EN with bit metering and audit it."""
+    import math
+
+    from repro.decomp.elkin_neiman import _EnNode
+    from repro.decomp.shifts import shift_cap
+
+    graph = cycle_graph(n)
+    shifts = sample_shifts(n, lam, n, seed=seed)
+    deadline = int(math.floor(shift_cap(lam, n))) + 2
+    counter = iter(range(n))
+
+    def factory():
+        v = next(counter)
+        return _EnNode(v, shifts[v], deadline)
+
+    result = run_synchronous(
+        graph,
+        factory,
+        seed=seed,
+        max_rounds=deadline + 2,
+        anonymous=False,
+        measure_bits=True,
+    )
+    return audit_congest(result, n)
+
+
+def test_e13_en_message_sizes(benchmark):
+    lam = 0.4
+    table = Table(
+        ["n", "max message bits", "CONGEST budget", "overhead factor"],
+        title="E13a: Elkin-Neiman message sizes vs the CONGEST budget",
+    )
+    overheads = []
+    for n in (16, 32, 64, 128):
+        audit = _audit_en(n, lam, seed=1)
+        overheads.append(audit.overhead_factor)
+        table.add_row(
+            [
+                n,
+                audit.max_message_bits,
+                audit.budget_bits,
+                f"{audit.overhead_factor:.2f}",
+            ]
+        )
+    table.print()
+    claim(
+        "a straightforward CONGEST port adds an O(log n) factor "
+        "(Section 6): message sizes exceed the O(log n) budget by the "
+        "number of overlapping floods",
+        f"measured overhead factors {[f'{o:.1f}' for o in overheads]} "
+        "— bounded, slowly growing: the open-question gap",
+    )
+    # Overheads stay modest (tokens, not topology dumps) but exceed 0.
+    assert all(o > 0 for o in overheads)
+    benchmark(lambda: _audit_en(32, lam, seed=2))
+
+
+def test_e13_local_only_algorithm_blows_budget(benchmark):
+    """Contrast: the eccentricity flood (deliberately LOCAL-only) sends
+    Θ(n log n)-bit messages — the audit flags it clearly."""
+    from repro.graphs import complete_graph
+    from repro.local.algorithms import EccentricityNode
+
+    table = Table(
+        ["n", "max message bits", "budget", "overhead"],
+        title="E13b: LOCAL-only eccentricity flood (knowledge-sized messages)",
+    )
+    overheads = []
+    # Cliques: after one round every node forwards n-1 fresh entries, so
+    # the biggest message genuinely carries Θ(n log n) bits (on sparse
+    # graphs the per-round frontier hides the growth).
+    for n in (8, 16, 32):
+        graph = complete_graph(n)
+        deadline = graph.n + 1
+
+        def factory():
+            return EccentricityNode(deadline)
+
+        result = run_synchronous(
+            graph,
+            factory,
+            anonymous=False,
+            max_rounds=deadline + 2,
+            measure_bits=True,
+        )
+        audit = audit_congest(result, graph.n)
+        overheads.append(audit.overhead_factor)
+        table.add_row(
+            [
+                graph.n,
+                audit.max_message_bits,
+                audit.budget_bits,
+                f"{audit.overhead_factor:.1f}",
+            ]
+        )
+    table.print()
+    # Θ(n log n)-bit messages against a Θ(log n) budget: the overhead
+    # grows ~n/log n (measurable over a 4x range of n).
+    assert overheads[-1] > 1.5 * overheads[0]
+    claim(
+        "LOCAL allows unbounded messages; CONGEST-readiness is exactly "
+        "what the audit quantifies",
+        "topology-sized floods overshoot the budget increasingly with n, "
+        "token-sized floods stay near it",
+    )
+    g = grid_graph(4, 4)
+    benchmark(lambda: eccentricities_distributed(g))

@@ -1,0 +1,102 @@
+"""E6 — Claim C.1: Elkin–Neiman fails on cliques with probability Ω(ε).
+
+Paper claim (Appendix C): on K_n, whenever the top two shifted values
+are within 1 (probability 1 − e^{−ε} = Ω(ε)), the EN rule deletes at
+least n − 1 vertices; so the ε·n bound holds only in expectation.
+Theorem 1.1's algorithm keeps the bound with high probability on the
+same family.
+
+Measured: catastrophic-failure frequency vs ε for EN (tracking the
+analytic event frequency) and the max unclustered fraction for CL.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import claim
+from repro.analysis import empirical_probability, wilson_interval
+from repro.core import low_diameter_decomposition
+from repro.decomp import elkin_neiman_ldd, sample_shifts
+from repro.graphs import clique_family, en_failure_event
+from repro.util.tables import Table
+
+N = 32
+TRIALS = 100
+EPSILONS = [0.4, 0.3, 0.2, 0.1]
+
+
+def test_e6_en_catastrophe_rate(benchmark):
+    graph = clique_family(N)
+    table = Table(
+        [
+            "eps",
+            "P[EN deletes >= n-1]",
+            "95% CI",
+            "analytic event freq",
+            "theory 1-e^-eps",
+            "CL max deleted frac",
+        ],
+        title=f"E6: Claim C.1 on K_{N} ({TRIALS} seeds per eps)",
+    )
+    for eps in EPSILONS:
+        catastrophes = []
+        events = []
+        for seed in range(TRIALS):
+            shifts = sample_shifts(N, eps, N, seed=seed)
+            d = elkin_neiman_ldd(graph, eps, shifts=shifts)
+            collapsed = len(d.deleted) >= N - 1
+            catastrophes.append(collapsed)
+            fired = en_failure_event(graph, list(shifts))
+            events.append(fired)
+            if fired:
+                assert collapsed, "analytic event must force the collapse"
+        p_cat, ci = empirical_probability(catastrophes)
+        p_evt, _ = empirical_probability(events)
+        cl_worst = max(
+            len(
+                low_diameter_decomposition(graph, eps=eps, seed=s).deleted
+            )
+            / N
+            for s in range(15)
+        )
+        theory = 1 - math.exp(-eps)
+        table.add_row(
+            [
+                eps,
+                f"{p_cat:.3f}",
+                f"[{ci[0]:.3f},{ci[1]:.3f}]",
+                f"{p_evt:.3f}",
+                f"{theory:.3f}",
+                f"{cl_worst:.3f}",
+            ]
+        )
+        # Ω(eps): within a constant of the analytic rate, and CL holds.
+        assert p_cat >= 0.4 * theory, eps
+        assert cl_worst <= eps, eps
+    table.print()
+    claim(
+        "EN deletes >= n-1 vertices w.p. Omega(eps) on cliques "
+        "(Claim C.1); Theorem 1.1 keeps <= eps*n w.h.p. on the same family",
+        "EN catastrophe rate tracks 1-e^-eps across eps; CL max fraction "
+        "never exceeded eps",
+    )
+    shifts = sample_shifts(N, 0.2, N, seed=0)
+    benchmark(lambda: elkin_neiman_ldd(graph, 0.2, shifts=shifts))
+
+
+def test_e6_failure_scales_with_eps(benchmark):
+    """The failure probability is monotone in eps (Ω(eps) scaling)."""
+    graph = clique_family(N)
+    rates = []
+    for eps in (0.1, 0.2, 0.4):
+        hits = 0
+        for seed in range(TRIALS):
+            shifts = sample_shifts(N, eps, N, seed=1000 + seed)
+            if en_failure_event(graph, list(shifts)):
+                hits += 1
+        rates.append(hits / TRIALS)
+    print(f"\n  event rate at eps=0.1/0.2/0.4: {rates}")
+    assert rates[0] < rates[2]
+    benchmark(lambda: sample_shifts(N, 0.2, N, seed=0))

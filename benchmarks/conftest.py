@@ -1,0 +1,25 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Every bench module reproduces one experiment from DESIGN.md's index
+(E1–E12), prints the series a paper table would carry, and asserts the
+qualitative shape the paper claims.  EXPERIMENTS.md records the
+paper-claim vs measured outcome for each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ilp import SolveCache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One exact-solver cache across the whole bench session."""
+    return SolveCache()
+
+
+def claim(paper: str, measured: str) -> None:
+    """Uniform paper-claim vs measured reporting."""
+    print(f"\n  PAPER CLAIM : {paper}")
+    print(f"  MEASURED    : {measured}")

@@ -1,0 +1,93 @@
+"""Decomposition showdown on the Appendix C adversarial family.
+
+Claim C.1: on a clique, the Elkin–Neiman decomposition deletes all but
+one vertex whenever the two largest shifted values land within 1 of
+each other — probability Ω(ε) — so its ε·n guarantee holds only in
+expectation.  Theorem 1.1's algorithm was built to fix exactly this.
+
+This example runs both on K_n across many seeds and prints the failure
+statistics side by side, plus the analytic event frequency.
+
+Run:  python examples/adversarial_ldd.py
+"""
+
+import math
+
+from repro.analysis import empirical_probability
+from repro.core import low_diameter_decomposition
+from repro.decomp import elkin_neiman_ldd, sample_shifts
+from repro.graphs import clique_family, en_failure_event
+from repro.util.tables import Table
+
+
+def main() -> None:
+    n = 32
+    eps = 0.25
+    trials = 120
+    graph = clique_family(n)
+    print(
+        f"clique K_{n}, eps = {eps}: Elkin-Neiman (Lemma C.1) vs "
+        "Chang-Li (Theorem 1.1), {trials} seeds\n".replace(
+            "{trials}", str(trials)
+        )
+    )
+
+    en_catastrophes = []
+    event_hits = []
+    en_fractions = []
+    for seed in range(trials):
+        shifts = sample_shifts(n, eps, n, seed=seed)
+        d = elkin_neiman_ldd(graph, eps, shifts=shifts)
+        en_fractions.append(len(d.deleted) / n)
+        en_catastrophes.append(len(d.deleted) >= n - 1)
+        event_hits.append(en_failure_event(graph, list(shifts)))
+
+    cl_fractions = []
+    for seed in range(trials):
+        d = low_diameter_decomposition(graph, eps=eps, seed=seed)
+        cl_fractions.append(len(d.deleted) / n)
+
+    p_cat, ci_cat = empirical_probability(en_catastrophes)
+    p_evt, _ = empirical_probability(event_hits)
+
+    table = Table(
+        ["algorithm", "mean deleted frac", "max deleted frac", "P[deleted > eps*n]"],
+        title="unclustered vertices on the adversarial clique",
+    )
+    en_fail = sum(1 for f in en_fractions if f > eps) / trials
+    cl_fail = sum(1 for f in cl_fractions if f > eps) / trials
+    table.add_row(
+        [
+            "Elkin-Neiman",
+            f"{sum(en_fractions) / trials:.3f}",
+            f"{max(en_fractions):.3f}",
+            f"{en_fail:.3f}",
+        ]
+    )
+    table.add_row(
+        [
+            "Chang-Li",
+            f"{sum(cl_fractions) / trials:.3f}",
+            f"{max(cl_fractions):.3f}",
+            f"{cl_fail:.3f}",
+        ]
+    )
+    table.print()
+
+    print(
+        f"EN total-collapse probability (>= n-1 deleted): {p_cat:.3f} "
+        f"(95% CI {ci_cat[0]:.3f}-{ci_cat[1]:.3f})"
+    )
+    print(
+        f"analytic event T(1) <= T(2)+1 frequency:        {p_evt:.3f} "
+        f"(theory: 1 - e^-eps = {1 - math.exp(-eps):.3f})"
+    )
+    print(
+        "\nEN's *mean* stays near eps (the in-expectation guarantee) but its"
+        "\ntail collapses with constant-ish probability; Chang-Li's max stays"
+        "\nbelow eps — the (C1) high-probability property."
+    )
+
+
+if __name__ == "__main__":
+    main()

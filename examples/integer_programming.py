@@ -1,0 +1,71 @@
+"""General bounded-integer ILPs via the paper's bit reduction.
+
+Section 1 of the paper notes that ILPs with variables 0 ≤ x_i ≤ s
+reduce to the binary formulation by bit decomposition.  This example
+models a resource-allocation problem with genuinely integer variables —
+each node of a ring network may activate 0..3 service replicas, every
+closed neighborhood has capacity 5 — reduces it to binary packing, runs
+the Theorem 1.2 algorithm, and decodes the integer solution.
+
+Run:  python examples/integer_programming.py
+"""
+
+import numpy as np
+
+from repro.core import solve_packing
+from repro.graphs import cycle_graph
+from repro.ilp import Constraint, solve_packing_exact
+from repro.ilp.integer import integer_packing_to_binary
+from repro.util.tables import Table
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    ring = cycle_graph(36)
+    replica_cap = 3
+    neighborhood_capacity = 5.0
+    value_per_replica = [float(rng.integers(1, 5)) for _ in range(ring.n)]
+
+    constraints = []
+    for v in range(ring.n):
+        u, w = ring.neighbors(v)
+        constraints.append(
+            Constraint({v: 1.0, u: 1.0, w: 1.0}, neighborhood_capacity)
+        )
+    reduction = integer_packing_to_binary(
+        value_per_replica,
+        constraints,
+        [replica_cap] * ring.n,
+        name="replica-allocation",
+    )
+    print(
+        f"ring of {ring.n} nodes; x_v in 0..{replica_cap} replicas; "
+        f"closed-neighborhood capacity {neighborhood_capacity:.0f}"
+    )
+    print(
+        f"binary reduction: {reduction.instance.n} bit-variables, "
+        f"{reduction.instance.m} constraints\n"
+    )
+
+    eps = 0.25
+    opt = solve_packing_exact(reduction.instance).weight
+    result = solve_packing(reduction.instance, eps=eps, seed=3)
+    values = reduction.decode(result.chosen)
+
+    table = Table(["quantity", "value"], title="allocation outcome")
+    table.add_row(["optimum value", f"{opt:.0f}"])
+    table.add_row(["achieved value", f"{result.weight:.0f}"])
+    table.add_row(["ratio", f"{result.weight / opt:.3f} (target ≥ {1 - eps})"])
+    table.add_row(["total replicas placed", sum(values)])
+    table.add_row(["max replicas at a node", max(values)])
+    table.print()
+
+    # Spot-check the integer solution respects the capacity directly.
+    for v in range(ring.n):
+        u, w = ring.neighbors(v)
+        assert values[v] + values[u] + values[w] <= neighborhood_capacity
+    print("integer solution verified against the original constraints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""The Ω(log n/ε) lower bound, demonstrated (Appendix B mechanism).
+
+Any t-round algorithm's per-vertex output distribution is identical on
+two d-regular graphs whose radius-t views are all trees.  We pair the
+non-bipartite McGee cage (and an LPS Ramanujan graph) with a bipartite
+partner of identical local views, run a genuine t-round algorithm
+(Luby's MIS prefix) on both, and watch:
+
+* the output marginals coincide (indistinguishability), while
+* the non-bipartite side's independence number caps the achievable
+  fraction — so the bipartite side, whose optimum is n/2, cannot be
+  approximated well in t rounds.
+
+Run:  python examples/lower_bound_demo.py  [--lps]
+"""
+
+import sys
+
+from repro.graphs import bipartite_double_cover, lps_graph, mcgee_graph
+from repro.ilp import max_independent_set_ilp, solve_packing_exact
+from repro.lower_bounds import compare_on_pair, views_are_trees
+from repro.util.tables import Table
+
+
+def run_pair(name, base, alpha_fraction, max_rounds, trials=40) -> None:
+    cover = bipartite_double_cover(base)
+    print(
+        f"{name}: n={base.n} (+double cover {cover.n}), "
+        f"degree {base.max_degree()}, girth {base.girth()}"
+    )
+    print(f"independence fraction of the non-bipartite side: {alpha_fraction:.3f}")
+    table = Table(
+        [
+            "rounds t",
+            "tree views?",
+            "frac (bipartite)",
+            "frac (non-bip)",
+            "marginal gap",
+            "implied ratio cap",
+        ],
+        title=f"t-round Luby prefix on {name} vs its double cover",
+    )
+    for rounds in range(0, max_rounds + 1):
+        report = compare_on_pair(
+            bipartite=cover,
+            ramanujan=base,
+            independence_fraction_ramanujan=alpha_fraction,
+            rounds=rounds,
+            trials=trials,
+            seed=rounds,
+        )
+        tree = report.views_tree_bipartite and report.views_tree_ramanujan
+        table.add_row(
+            [
+                rounds,
+                "yes" if tree else "NO",
+                f"{report.mean_fraction_bipartite:.3f}",
+                f"{report.mean_fraction_ramanujan:.3f}",
+                f"{report.marginal_gap:.4f}",
+                f"{report.implied_bipartite_ratio:.3f}" if tree else "-",
+            ]
+        )
+    table.print()
+    print(
+        "While views are trees the marginals match, so the bipartite"
+        "\napproximation ratio is capped by the non-bipartite independence"
+        "\nfraction over 1/2 — beating it requires more rounds, and the"
+        "\nrequired girth (hence n) grows exponentially with t: the"
+        " Ω(log n) mechanism.\n"
+    )
+
+
+def main() -> None:
+    base = mcgee_graph()
+    alpha = solve_packing_exact(max_independent_set_ilp(base)).weight
+    run_pair("McGee cage", base, alpha / base.n, max_rounds=3)
+
+    if "--lps" in sys.argv:
+        lps = lps_graph(5, 29)  # 6-regular, n = 12180, non-bipartite
+        run_pair(
+            "LPS X^{5,29}",
+            lps.graph,
+            lps.independence_upper_bound() / lps.n,
+            max_rounds=2,
+            trials=8,
+        )
+
+
+if __name__ == "__main__":
+    main()

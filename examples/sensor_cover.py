@@ -1,0 +1,78 @@
+"""Covering scenario: monitoring-station placement on a mesh network.
+
+The paper's Definition 1.3 running example is the minimum-weight
+k-distance dominating set: choose stations so every node has a station
+within k hops, minimizing installation cost.  This example places
+weighted stations on a 12×12 mesh with heterogeneous site costs and
+compares three solvers:
+
+* the Theorem 1.3 distributed algorithm at several ε,
+* the classical greedy (quality baseline, but inherently sequential),
+* the exact optimum (what a centralized solver would pay).
+
+Run:  python examples/sensor_cover.py
+"""
+
+import numpy as np
+
+from repro.core import solve_covering
+from repro.graphs import grid_graph
+from repro.ilp import (
+    SolveCache,
+    greedy_covering,
+    min_dominating_set_ilp,
+    solve_covering_exact,
+)
+from repro.util.tables import Table
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    mesh = grid_graph(12, 12)
+    # Site costs: cheap in the interior, expensive at the boundary
+    # (e.g. mounting constraints), with some noise.
+    costs = []
+    for r in range(12):
+        for c in range(12):
+            boundary = r in (0, 11) or c in (0, 11)
+            base = 4.0 if boundary else 2.0
+            costs.append(float(base + rng.integers(0, 3)))
+    coverage_radius = 2
+    instance = min_dominating_set_ilp(mesh, weights=costs, k=coverage_radius)
+    cache = SolveCache()
+
+    print(
+        f"mesh: {mesh.n} nodes, coverage radius k={coverage_radius} "
+        "(one hypergraph round = k mesh rounds)"
+    )
+    optimum = solve_covering_exact(instance, cache=cache)
+    greedy_cost = instance.weight(greedy_covering(instance))
+    print(f"exact optimum cost: {optimum.weight:.0f}")
+    print(f"greedy (ln-approx, sequential) cost: {greedy_cost:.0f}\n")
+
+    table = Table(
+        ["eps", "cost", "ratio", "bound 1+eps", "zones", "nominal rounds", "effective rounds"],
+        title="Theorem 1.3 on the monitoring-station instance",
+    )
+    for eps in (0.5, 0.3, 0.2):
+        result = solve_covering(instance, eps=eps, seed=5, cache=cache)
+        table.add_row(
+            [
+                eps,
+                f"{result.weight:.0f}",
+                f"{result.weight / optimum.weight:.3f}",
+                f"{1 + eps:.2f}",
+                result.num_zones,
+                result.ledger.nominal_rounds,
+                result.ledger.effective_rounds,
+            ]
+        )
+    table.print()
+    print(
+        "Every ratio stays within its 1+eps bound; smaller eps buys a"
+        " better ratio at more rounds — the Theorem 1.3 trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

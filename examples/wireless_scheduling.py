@@ -1,0 +1,76 @@
+"""Packing scenario: interference-free link scheduling.
+
+A classic motivation for distributed maximum-weight independent set:
+links of a wireless network conflict when they share an endpoint or
+interfere; scheduling one time slot = picking a heavy independent set
+in the conflict graph.  We build the conflict graph of a random
+bounded-degree network, weight links by queued traffic, and compare the
+Theorem 1.2 algorithm against the GKM17 baseline and the exact optimum
+— same quality bar, different round bills.
+
+Run:  python examples/wireless_scheduling.py
+"""
+
+import numpy as np
+
+from repro.core import solve_packing
+from repro.decomp import gkm_solve_packing
+from repro.graphs import random_regular
+from repro.ilp import (
+    SolveCache,
+    max_independent_set_ilp,
+    solve_packing_exact,
+)
+from repro.util.tables import Table
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    conflict = random_regular(72, 3, rng)
+    traffic = [float(rng.integers(1, 12)) for _ in range(conflict.n)]
+    instance = max_independent_set_ilp(conflict, weights=traffic)
+    cache = SolveCache()
+    eps = 0.3
+
+    optimum = solve_packing_exact(instance, cache=cache)
+    print(
+        f"conflict graph: n={conflict.n} links, 3-regular; "
+        f"max schedulable traffic = {optimum.weight:.0f}"
+    )
+    print(f"target: ≥ (1 − {eps}) × optimum = {(1 - eps) * optimum.weight:.1f}\n")
+
+    table = Table(
+        ["algorithm", "traffic", "ratio", "nominal rounds", "effective rounds"],
+        title="one scheduling slot (weighted MIS)",
+    )
+    cl = solve_packing(instance, eps=eps, seed=3, cache=cache)
+    table.add_row(
+        [
+            "Chang-Li (Thm 1.2)",
+            f"{cl.weight:.0f}",
+            f"{cl.weight / optimum.weight:.3f}",
+            cl.ledger.nominal_rounds,
+            cl.ledger.effective_rounds,
+        ]
+    )
+    gkm = gkm_solve_packing(instance, eps=eps, seed=3, scale=0.35, cache=cache)
+    gkm_weight = instance.weight(gkm.chosen)
+    table.add_row(
+        [
+            "GKM17 baseline",
+            f"{gkm_weight:.0f}",
+            f"{gkm_weight / optimum.weight:.3f}",
+            gkm.ledger.nominal_rounds,
+            gkm.ledger.effective_rounds,
+        ]
+    )
+    table.print()
+    print(
+        "Both meet the (1−eps) bar; the Chang-Li nominal round formula is"
+        " Õ(log n/ε) against GKM's O(log³ n/ε) — the asymptotic gap the"
+        " paper proves (benchmark E5 sweeps it)."
+    )
+
+
+if __name__ == "__main__":
+    main()

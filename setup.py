@@ -1,0 +1,4 @@
+"""Legacy setup shim (keeps `python setup.py develop` working offline)."""
+from setuptools import setup
+
+setup()

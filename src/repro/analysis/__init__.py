@@ -1,0 +1,43 @@
+"""Concentration bounds (Appendix A) and experiment statistics."""
+
+from repro.analysis.dependency import (
+    DependencyProfile,
+    dependency_profile,
+    sparsification_progress,
+)
+from repro.analysis.concentration import (
+    bounded_dependence_tail,
+    chernoff_lower,
+    chernoff_upper,
+    empirical_dominates_geometric,
+    geometric_bounded_dependence_tail,
+    geometric_sum_tail,
+    geometric_survival,
+)
+from repro.analysis.stats import (
+    RatioSummary,
+    empirical_probability,
+    fit_against,
+    inverse_eps_slope,
+    loglinear_slope,
+    wilson_interval,
+)
+
+__all__ = [
+    "DependencyProfile",
+    "dependency_profile",
+    "sparsification_progress",
+    "bounded_dependence_tail",
+    "chernoff_lower",
+    "chernoff_upper",
+    "empirical_dominates_geometric",
+    "geometric_bounded_dependence_tail",
+    "geometric_sum_tail",
+    "geometric_survival",
+    "RatioSummary",
+    "empirical_probability",
+    "fit_against",
+    "inverse_eps_slope",
+    "loglinear_slope",
+    "wilson_interval",
+]

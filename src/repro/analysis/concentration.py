@@ -1,0 +1,95 @@
+"""Appendix A concentration bounds, as numeric functions.
+
+These are the quantitative forms of Lemmas A.1–A.6, used by tests to
+check that empirical tail frequencies stay below the proven bounds and
+by the documentation to report the failure probabilities the theorems
+promise at each experiment's scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.validation import check_positive, check_probability, require
+
+
+def chernoff_upper(mu: float, delta: float) -> float:
+    """Lemma A.1: ``P[X > (1+δ)μ] <= exp(−δ²μ/(2+δ))`` for δ >= 0."""
+    require(delta >= 0, f"delta must be >= 0, got {delta}")
+    check_positive("mu", mu)
+    return math.exp(-(delta**2) * mu / (2.0 + delta))
+
+
+def chernoff_lower(mu: float, delta: float) -> float:
+    """Lemma A.1: ``P[X < (1−δ)μ] <= exp(−δ²μ/2)`` for 0 <= δ <= 1."""
+    require(0 <= delta <= 1, f"delta must be in [0,1], got {delta}")
+    check_positive("mu", mu)
+    return math.exp(-(delta**2) * mu / 2.0)
+
+
+def geometric_sum_tail(n: int, p: float, delta: float) -> float:
+    """Lemma A.2: ``P[X > μ + δn] <= exp(−p²δn/6)`` for δ > 1/p − 1.
+
+    ``X`` is the sum of ``n`` independent Geometric(p) variables with
+    mean ``μ = n/p``.
+    """
+    require(n >= 1, f"n must be >= 1, got {n}")
+    check_probability("p", p)
+    require(
+        delta > 1.0 / p - 1.0,
+        f"Lemma A.2 needs delta > 1/p - 1 = {1.0 / p - 1.0}, got {delta}",
+    )
+    return math.exp(-(p**2) * delta * n / 6.0)
+
+
+def bounded_dependence_tail(mu: float, d: float, delta: float) -> float:
+    """Lemma A.3 shape: ``P[X >= (1+δ)μ] <= O(d)·exp(−Ω(δ²μ/d))``.
+
+    The paper's instantiation (proof of Lemma 3.7) uses the equitable-
+    coloring route: ``d + 1`` color classes each of size ``>= n/2d``,
+    a Chernoff bound per class and a union bound, yielding
+    ``(d + 1)·exp(−δ²μ/(3d))`` as a concrete constant choice.
+    """
+    check_positive("mu", mu)
+    check_positive("d", d)
+    require(delta >= 0, f"delta must be >= 0, got {delta}")
+    return (d + 1.0) * math.exp(-(delta**2) * mu / (3.0 * d))
+
+
+def geometric_bounded_dependence_tail(
+    n: int, p: float, d: float, delta: float
+) -> float:
+    """Lemma A.5: ``P[X >= μ + δn] <= O(d)·exp(−p²δn/12d)``."""
+    require(n >= 1, f"n must be >= 1, got {n}")
+    check_probability("p", p)
+    check_positive("d", d)
+    require(delta > 1.0 / p - 1.0, "Lemma A.5 needs delta > 1/p - 1")
+    return (d + 1.0) * math.exp(-(p**2) * delta * n / (12.0 * d))
+
+
+def geometric_survival(p: float, k: int) -> float:
+    """``P[Geometric(p) >= k] = (1−p)^{k−1}`` (support ``k >= 1``)."""
+    check_probability("p", p)
+    require(k >= 1, f"k must be >= 1, got {k}")
+    return (1.0 - p) ** (k - 1)
+
+
+def empirical_dominates_geometric(
+    samples: Sequence[int], p: float, slack: float = 0.0
+) -> bool:
+    """One-sided empirical domination check against Geometric(p).
+
+    True when every empirical survival frequency is at most the
+    geometric survival plus ``slack`` (sampling-noise allowance) —
+    the testable form of "X is dominated by Geometric(p)".
+    """
+    if not samples:
+        return True
+    n = len(samples)
+    max_k = max(samples)
+    for k in range(1, max_k + 1):
+        emp = sum(1 for x in samples if x >= k) / n
+        if emp > geometric_survival(p, k) + slack:
+            return False
+    return True

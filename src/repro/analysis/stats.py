@@ -1,0 +1,99 @@
+"""Statistical helpers for the experiment harness.
+
+Everything a benchmark needs to turn repeated seeded trials into the
+numbers a paper table would carry: confidence intervals for failure
+probabilities, ratio summaries, and growth-shape fits (rounds vs
+``log n`` and vs ``1/ε``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    require(0 <= successes <= trials, "successes must be within trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (phat + z**2 / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Five-number-ish summary of approximation ratios across trials."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p05: float
+    p95: float
+
+    @classmethod
+    def of(cls, ratios: Sequence[float]) -> "RatioSummary":
+        require(bool(ratios), "need at least one ratio")
+        arr = np.asarray(ratios, dtype=float)
+        return cls(
+            count=len(ratios),
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p05=float(np.quantile(arr, 0.05)),
+            p95=float(np.quantile(arr, 0.95)),
+        )
+
+
+def fit_against(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit ``y ≈ a·x + b``; returns ``(a, b, r²)``."""
+    require(len(xs) == len(ys) and len(xs) >= 2, "need >= 2 paired points")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    a, b = np.polyfit(x, y, 1)
+    pred = a * x + b
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(a), float(b), r2
+
+
+def loglinear_slope(ns: Sequence[float], rounds: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``rounds ≈ a·log(n) + b``; returns ``(a, r²)``.
+
+    A good fit (r² near 1, positive a) is the measurable signature of a
+    Θ(log n) round complexity.
+    """
+    a, _, r2 = fit_against([math.log(n) for n in ns], list(rounds))
+    return a, r2
+
+
+def inverse_eps_slope(
+    epsilons: Sequence[float], rounds: Sequence[float]
+) -> Tuple[float, float]:
+    """Fit ``rounds ≈ a/ε + b``; returns ``(a, r²)``."""
+    a, _, r2 = fit_against([1.0 / e for e in epsilons], list(rounds))
+    return a, r2
+
+
+def empirical_probability(events: Sequence[bool]) -> Tuple[float, Tuple[float, float]]:
+    """Frequency plus its Wilson interval."""
+    trials = len(events)
+    successes = sum(1 for e in events if e)
+    p = successes / trials if trials else 0.0
+    return p, wilson_interval(successes, trials)

@@ -1,0 +1,59 @@
+"""The paper's contribution: Theorems 1.1, 1.2, 1.3 and extensions."""
+
+from repro.core.params import CoveringParams, LddParams, PackingParams
+from repro.core.carve import (
+    CarveOutcome,
+    grow_and_carve,
+    grow_and_carve_covering,
+    grow_and_carve_packing,
+)
+from repro.core.ldd import (
+    LddTrace,
+    chang_li_ldd,
+    low_diameter_decomposition,
+)
+from repro.core.packing import (
+    PackingResult,
+    chang_li_packing,
+    solve_packing,
+)
+from repro.core.covering import (
+    CoveringResult,
+    chang_li_covering,
+    solve_covering,
+)
+from repro.core.blackbox import blackbox_ldd
+from repro.core.alternative import (
+    AlternativePackingResult,
+    alternative_packing,
+)
+from repro.core.refine import (
+    ldd_with_ideal_diameter,
+    refine_decomposition,
+    refined_diameter_bound,
+)
+
+__all__ = [
+    "CoveringParams",
+    "LddParams",
+    "PackingParams",
+    "CarveOutcome",
+    "grow_and_carve",
+    "grow_and_carve_covering",
+    "grow_and_carve_packing",
+    "LddTrace",
+    "chang_li_ldd",
+    "low_diameter_decomposition",
+    "PackingResult",
+    "chang_li_packing",
+    "solve_packing",
+    "CoveringResult",
+    "chang_li_covering",
+    "solve_covering",
+    "blackbox_ldd",
+    "alternative_packing",
+    "AlternativePackingResult",
+    "ldd_with_ideal_diameter",
+    "refine_decomposition",
+    "refined_diameter_bound",
+]

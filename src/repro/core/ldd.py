@@ -1,0 +1,225 @@
+"""Theorem 1.1: the high-probability low-diameter decomposition.
+
+Three phases (Section 3.1):
+
+1. **Sparsification** (Algorithm 2) — ``t = ⌈log₂(20/ε)⌉`` iterations of
+   ball-growing-and-carving with geometrically increasing center
+   probabilities ``p_{v,i} = 2^i ln ñ / n_v``.  After iteration ``i``
+   every surviving vertex's relevant ball holds ``O(n / 2^i)`` vertices
+   w.h.p., and each iteration deletes at most ``ε|V|/4t`` vertices.
+2. **Dense-pocket clearing** (Algorithm 3) — one iteration with the
+   boosted probability ``2^{t+1} ln ñ ln(20/ε)/n_v``, ensuring that
+   w.h.p. only ``O(log n)`` dense components survive (the *bad
+   vertices* of Definition 3.1).
+3. **Finish** — the Elkin–Neiman decomposition with ``λ = ε/10`` on the
+   residual graph; the sparsified neighborhoods keep the deletion
+   indicators ``O(ε n / log n)``-dependent, so a bounded-dependence
+   Chernoff bound (Lemma A.3) makes the total deletion bound hold with
+   probability ``1 − 1/poly(n)`` — the property (C1) that in-expectation
+   decompositions lack (Appendix C).
+
+The optional ``weights`` argument measures everything (ball sizes,
+layer sizes, deletions) in vertex weight instead of count — the
+weighted generalization used by the Section 4 "alternative approach".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.carve import CarveOutcome, grow_and_carve
+from repro.core.params import LddParams
+from repro.decomp.elkin_neiman import elkin_neiman_ldd
+from repro.decomp.types import Decomposition
+from repro.graphs.graph import Graph
+from repro.local.gather import RoundLedger, gather_ball
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.validation import require
+
+
+@dataclass
+class LddTrace:
+    """Diagnostics of one run (consumed by tests and the E12 ablations)."""
+
+    centers_per_iteration: List[int] = field(default_factory=list)
+    deleted_per_iteration: List[int] = field(default_factory=list)
+    removed_per_iteration: List[int] = field(default_factory=list)
+    phase3_deleted: int = 0
+    residual_after_phase2: int = 0
+
+
+def chang_li_ldd(
+    graph: Graph,
+    params: LddParams,
+    seed: SeedLike = None,
+    weights: Optional[Sequence[float]] = None,
+    skip_phase2: bool = False,
+    trace: Optional[LddTrace] = None,
+) -> Decomposition:
+    """Run the Theorem 1.1 decomposition with the given parameters.
+
+    Returns a :class:`~repro.decomp.types.Decomposition` whose clusters
+    are the connected components of the non-deleted vertices (mutually
+    non-adjacent by construction; weak diameter ``O(t R)`` by Lemma
+    3.2).  ``skip_phase2`` is an ablation hook (E12): it degrades the
+    w.h.p. guarantee exactly as the analysis predicts.
+    """
+    n = graph.n
+    require(
+        weights is None or len(weights) == n, "need one weight per vertex"
+    )
+    ledger = RoundLedger()
+    rngs = spawn_rngs(seed, 2 * n + 4)
+    remaining: Set[int] = set(range(n))
+    deleted: Set[int] = set()
+
+    # -- Estimate n_v = |N^{4tR}(v)| (Algorithm 2, line 1). -----------
+    estimates: Dict[int, float] = {}
+    max_depth = 0
+    for v in range(n):
+        gathered = gather_ball(graph, [v], params.estimate_radius)
+        estimates[v] = _measure(gathered.ball, weights)
+        max_depth = max(max_depth, gathered.depth_reached)
+    ledger.charge("estimate-nv", params.estimate_radius, max_depth)
+
+    # -- Phase 1: t sparsification iterations (Algorithm 2). ----------
+    for i in range(1, params.t + 1):
+        interval = params.interval(i)
+        centers = [
+            v
+            for v in sorted(remaining)
+            if rngs[v].random()
+            < params.sampling_probability(i, max(1, int(estimates[v])))
+        ]
+        _apply_carves(
+            graph,
+            centers,
+            interval,
+            remaining,
+            deleted,
+            ledger,
+            f"phase1-iter{i}",
+            weights,
+            trace,
+        )
+
+    # -- Phase 2: one boosted iteration (Algorithm 3). ----------------
+    if not skip_phase2:
+        interval = params.phase2_interval()
+        centers = [
+            v
+            for v in sorted(remaining)
+            if rngs[n + v].random()
+            < params.phase2_probability(max(1, int(estimates[v])))
+        ]
+        _apply_carves(
+            graph,
+            centers,
+            interval,
+            remaining,
+            deleted,
+            ledger,
+            "phase2",
+            weights,
+            trace,
+        )
+    if trace is not None:
+        trace.residual_after_phase2 = len(remaining)
+
+    # -- Phase 3: Elkin–Neiman on the residual graph. ------------------
+    if remaining:
+        en = elkin_neiman_ldd(
+            graph,
+            params.phase3_lambda,
+            ntilde=params.ntilde,
+            seed=rngs[2 * n],
+            within=remaining,
+        )
+        deleted |= en.deleted
+        ledger.merge(en.ledger, prefix="phase3-")
+        if trace is not None:
+            trace.phase3_deleted = len(en.deleted)
+
+    clusters = [
+        set(c)
+        for c in graph.connected_components(
+            within=set(range(n)) - deleted
+        )
+    ]
+    return Decomposition(
+        clusters=clusters,
+        deleted=deleted,
+        centers=[None] * len(clusters),
+        ledger=ledger,
+    )
+
+
+def low_diameter_decomposition(
+    graph: Graph,
+    eps: float,
+    ntilde: Optional[int] = None,
+    seed: SeedLike = None,
+    profile: str = "practical",
+    **profile_kwargs,
+) -> Decomposition:
+    """Convenience entry point: build params, run :func:`chang_li_ldd`.
+
+    ``profile`` selects :meth:`LddParams.paper` or
+    :meth:`LddParams.practical` (default; extra keyword arguments are
+    forwarded to the profile constructor).
+    """
+    ntilde = ntilde if ntilde is not None else max(graph.n, 2)
+    if profile == "paper":
+        params = LddParams.paper(eps, ntilde)
+    elif profile == "practical":
+        params = LddParams.practical(eps, ntilde, **profile_kwargs)
+    else:
+        raise ValueError(f"unknown profile {profile!r}")
+    return chang_li_ldd(graph, params, seed=seed)
+
+
+def _measure(vertices: Set[int], weights: Optional[Sequence[float]]) -> float:
+    if weights is None:
+        return float(len(vertices))
+    return sum(weights[v] for v in vertices)
+
+
+def _apply_carves(
+    graph: Graph,
+    centers: List[int],
+    interval: Tuple[int, int],
+    remaining: Set[int],
+    deleted: Set[int],
+    ledger: RoundLedger,
+    label: str,
+    weights: Optional[Sequence[float]],
+    trace: Optional[LddTrace],
+) -> None:
+    """Run all centers' carves against the same residual snapshot.
+
+    Merge rule (Section 3.1.2): a vertex deleted by any execution is
+    deleted, even if another execution removed it.
+    """
+    removed_now: Set[int] = set()
+    deleted_now: Set[int] = set()
+    max_depth = 0
+    for center in centers:
+        if center not in remaining:
+            continue  # carved away by a parallel execution's snapshot merge
+        outcome = grow_and_carve(
+            graph, [center], interval, remaining, weights=weights
+        )
+        removed_now |= outcome.removed
+        deleted_now |= outcome.deleted
+        max_depth = max(max_depth, outcome.depth)
+    removed_now -= deleted_now  # deleted wins
+    deleted |= deleted_now
+    remaining -= removed_now
+    remaining -= deleted_now
+    ledger.charge(label, 2 * interval[1], 2 * max_depth)
+    if trace is not None:
+        trace.centers_per_iteration.append(len(centers))
+        trace.deleted_per_iteration.append(len(deleted_now))
+        trace.removed_per_iteration.append(len(removed_now))

@@ -1,0 +1,90 @@
+"""Classical decomposition substrate: EN, MPX, sparse cover, LS, GKM."""
+
+from repro.decomp.types import Decomposition, SparseCover
+from repro.decomp.shifts import (
+    ShiftRecord,
+    en_is_deleted,
+    rounds_for_flood,
+    sample_shifts,
+    shift_cap,
+    shifted_flood,
+    within_one_sources,
+)
+from repro.decomp.elkin_neiman import (
+    deletion_probability_bound,
+    elkin_neiman_ldd,
+    elkin_neiman_message_ldd,
+)
+from repro.decomp.mpx import (
+    MpxDecomposition,
+    expected_cut_fraction_bound,
+    mpx_decomposition,
+)
+from repro.decomp.sparse_cover import (
+    geometric_domination_pvalue,
+    solve_covering_by_sparse_cover,
+    sparse_cover,
+    verify_edge_coverage,
+)
+from repro.decomp.linial_saks import linial_saks_decomposition
+from repro.decomp.network_decomposition import (
+    NetworkDecomposition,
+    validate_network_decomposition,
+)
+from repro.decomp.gkm import (
+    GkmResult,
+    gkm_solve_covering,
+    gkm_solve_packing,
+    sequential_carving_packing,
+    solve_zone_coverings,
+)
+from repro.decomp.quality import (
+    LddTrialSummary,
+    TrialSeries,
+    run_ldd_trials,
+    summarize_decomposition,
+)
+from repro.decomp.spanner import (
+    SpannerResult,
+    shift_spanner,
+    spanner_lambda,
+    verify_stretch,
+)
+
+__all__ = [
+    "Decomposition",
+    "SparseCover",
+    "ShiftRecord",
+    "en_is_deleted",
+    "rounds_for_flood",
+    "sample_shifts",
+    "shift_cap",
+    "shifted_flood",
+    "within_one_sources",
+    "deletion_probability_bound",
+    "elkin_neiman_ldd",
+    "elkin_neiman_message_ldd",
+    "MpxDecomposition",
+    "expected_cut_fraction_bound",
+    "mpx_decomposition",
+    "geometric_domination_pvalue",
+    "solve_covering_by_sparse_cover",
+    "sparse_cover",
+    "verify_edge_coverage",
+    "linial_saks_decomposition",
+    "NetworkDecomposition",
+    "validate_network_decomposition",
+    "GkmResult",
+    "gkm_solve_covering",
+    "gkm_solve_packing",
+    "sequential_carving_packing",
+    "solve_zone_coverings",
+    "LddTrialSummary",
+    "TrialSeries",
+    "run_ldd_trials",
+    "summarize_decomposition",
+    "SpannerResult",
+    "shift_spanner",
+    "spanner_lambda",
+    "verify_stretch",
+]

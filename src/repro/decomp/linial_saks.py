@@ -1,0 +1,99 @@
+"""The Linial–Saks randomized network decomposition [LS93].
+
+Produces an ``(O(log n), O(log n))`` weak-diameter network
+decomposition with probability ``1 − 1/poly(n)``, in ``O(log² n)``
+rounds — the building block of the GKM17 baseline (Section 1.2).
+
+Per phase, every still-live vertex draws a truncated geometric radius
+``r_u`` and announces ``(id, r_u)`` to its ``r_u``-ball (in the full
+graph — clusters have *weak* diameter).  Each live vertex ``v`` selects
+the highest-id announcer ``u`` with ``dist(u, v) <= r_u``; it joins
+``u``'s cluster for this phase iff the inequality is strict, otherwise
+it stays live for the next phase.  A standard argument shows the
+strict-inequality rule makes same-phase clusters non-adjacent, and the
+memoryless radii cluster each vertex with probability ≥ 1/2 per phase,
+so ``O(log n)`` phases (= colors) suffice w.h.p.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.decomp.network_decomposition import NetworkDecomposition
+from repro.graphs.graph import Graph
+from repro.local.gather import RoundLedger
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.validation import require
+
+
+def _truncated_geometric(rng, cap: int) -> int:
+    """Radius with ``P(r = j) = 2^{-(j+1)}``, truncated at ``cap``."""
+    r = 0
+    while r < cap and rng.random() < 0.5:
+        r += 1
+    return r
+
+
+def linial_saks_decomposition(
+    graph: Graph,
+    ntilde: Optional[int] = None,
+    seed: SeedLike = None,
+    radius_cap: Optional[int] = None,
+    max_phases: Optional[int] = None,
+) -> NetworkDecomposition:
+    """Compute an LS network decomposition of ``graph``.
+
+    ``radius_cap`` defaults to ``ceil(log2 ñ)`` (the w.h.p. truncation)
+    and bounds every cluster's weak diameter by ``2 * radius_cap``.
+    Colors are phase indices starting at 1.
+    """
+    n = graph.n
+    ntilde = ntilde if ntilde is not None else max(n, 2)
+    require(ntilde >= n, f"ntilde={ntilde} below n={n}")
+    cap = radius_cap if radius_cap is not None else max(1, math.ceil(math.log2(ntilde)))
+    phase_budget = (
+        max_phases
+        if max_phases is not None
+        else max(8, 8 * math.ceil(math.log2(ntilde)))
+    )
+    live: Set[int] = set(range(n))
+    clusters: List[Set[int]] = []
+    colors: List[int] = []
+    ledger = RoundLedger()
+    rng_master = spawn_rngs(seed, 1)[0]
+    phase = 0
+    while live:
+        phase += 1
+        if phase > phase_budget:
+            raise RuntimeError(
+                f"Linial-Saks did not converge in {phase_budget} phases "
+                f"({len(live)} vertices still live)"
+            )
+        rngs = spawn_rngs(rng_master, n)
+        radii = {u: _truncated_geometric(rngs[u], cap) for u in sorted(live)}
+        # candidate[v] = (id, dist) of the best announcer heard by v.
+        best: Dict[int, Tuple[int, int]] = {}
+        for u in sorted(live):
+            dist = graph.bfs_distances([u], radii[u])
+            for v, d in dist.items():
+                if v not in live:
+                    continue
+                prev = best.get(v)
+                if prev is None or u > prev[0]:
+                    best[v] = (u, d)
+        members: Dict[int, Set[int]] = {}
+        for v in sorted(live):
+            chosen = best.get(v)
+            if chosen is None:
+                continue  # heard nobody (can only happen via truncation)
+            u, d = chosen
+            if d < radii[u]:
+                members.setdefault(u, set()).add(v)
+        for u in sorted(members):
+            clusters.append(members[u])
+            colors.append(phase)
+            live -= members[u]
+        max_radius = max(radii.values(), default=0)
+        ledger.charge("ls-phase", 2 * cap, 2 * max_radius)
+    return NetworkDecomposition(clusters=clusters, colors=colors, ledger=ledger)

@@ -1,0 +1,151 @@
+"""Exponential-shift spanners (the [EN18] application, Sections 1.3/6).
+
+Elkin and Neiman build (2k−1)-stretch spanners of *expected* size
+O(n^{1+1/k}) from the same exponential-shift machinery as the
+low-diameter decompositions; because the size bound is inherited from
+the in-expectation clustering guarantee, whether it can be made to hold
+with high probability is an open question the paper connects to
+Theorem 1.1 ([FGdV22], Section 6).
+
+Construction implemented here (the clustering form):
+
+* every vertex samples ``T_u ~ Exp(λ)``, reset to 0 above the cap
+  ``k − 1/2`` (so predecessor chains toward any source have at most
+  ``k − 1`` hops);
+* tokens flood as in :mod:`repro.decomp.shifts`;
+* every vertex adds, for each heard source within 2 of its maximum
+  shifted value, one edge toward that source (its BFS predecessor).
+
+The within-2 set is closed under shortest-path prefixes (moving one hop
+toward a source raises its value by 1 while the local maximum rises by
+at most 1), so for any edge ``(u, v)`` both endpoints reach ``u``'s top
+source through spanner edges in ≤ k−1 hops each: worst-case stretch
+``2k−2 ≤ 2k−1``, checked edge-by-edge in tests.  Per-vertex edge counts
+are bounded by the within-2 multiplicity, geometric with mean
+``e^{2λ} = ñ^{1/k}`` at ``λ = ln ñ/(2k)`` — the [EN18] size shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.decomp.shifts import ShiftRecord, shifted_flood
+from repro.graphs.graph import Graph
+from repro.local.gather import RoundLedger
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.validation import require
+
+
+@dataclass
+class SpannerResult:
+    """A spanner with its construction diagnostics."""
+
+    edges: Set[Tuple[int, int]]
+    k: int
+    shifts: List[float]
+    #: per-vertex count of within-2 sources (the size driver)
+    multiplicities: List[int]
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)
+
+    def subgraph(self, n: int) -> Graph:
+        return Graph(n, self.edges)
+
+    def size_bound(self, n: int) -> float:
+        """The EN18-shape expected-size bound ``n^{1 + 1/k} + n``."""
+        if self.k <= 1:
+            return float(n * (n - 1) // 2)
+        return float(n ** (1.0 + 1.0 / self.k) + n)
+
+
+def spanner_lambda(k: int, ntilde: int) -> float:
+    """``λ = ln ñ / (2k)``: the within-2 multiplicity is then
+    ``e^{2λ} = ñ^{1/k}`` — the O(n^{1/k}) per-vertex edge budget of the
+    [EN18] size bound.  Resets past the cap ``k − 1/2`` occur with
+    probability ``ñ^{-(k-1/2)/2k)} ≈ ñ^{-1/2}`` and are harmless (they
+    only shrink clusters; the worst-case stretch never depends on them).
+    """
+    require(k >= 2, f"stretch parameter k must be >= 2, got {k}")
+    return math.log(max(ntilde, 2)) / (2.0 * k)
+
+
+def shift_spanner(
+    graph: Graph,
+    k: int,
+    ntilde: Optional[int] = None,
+    seed: SeedLike = None,
+    shifts: Optional[List[float]] = None,
+) -> SpannerResult:
+    """Build a (2k−1)-stretch spanner via exponential shifts.
+
+    ``shifts`` may be injected for adversarial experiments (bench E14);
+    otherwise sampled from Exp(λ) with the cap ``(k−1)/2``.
+    """
+    n = graph.n
+    ntilde = ntilde if ntilde is not None else max(n, 2)
+    lam = spanner_lambda(k, ntilde)
+    cap = k - 0.5
+    if shifts is None:
+        rngs = spawn_rngs(seed, n)
+        shifts = []
+        for rng in rngs:
+            value = float(rng.exponential(1.0 / lam))
+            shifts.append(0.0 if value >= cap else value)
+    else:
+        require(len(shifts) == n, "need one shift per vertex")
+        require(max(shifts, default=0.0) < cap + 1e-9, "shifts exceed the cap")
+    records = shifted_flood(graph, list(shifts), keep=None)
+    # Index: (vertex, source) -> distance, for predecessor lookup.
+    dist_of: Dict[Tuple[int, int], int] = {}
+    for v in range(n):
+        for rec in records[v]:
+            dist_of[(v, rec.source)] = rec.dist
+    edges: Set[Tuple[int, int]] = set()
+    multiplicities = [0] * n
+    for v in range(n):
+        if not records[v]:
+            continue
+        top = records[v][0].value
+        for rec in records[v]:
+            if rec.value < top - 2.0:
+                continue
+            multiplicities[v] += 1
+            if rec.dist == 0:
+                continue  # own cluster center
+            for u in graph.neighbors(v):
+                if dist_of.get((u, rec.source)) == rec.dist - 1:
+                    edges.add((min(u, v), max(u, v)))
+                    break
+    ledger = RoundLedger()
+    ledger.charge("spanner-flood", math.ceil(cap) + 2)
+    return SpannerResult(
+        edges=edges,
+        k=k,
+        shifts=list(shifts),
+        multiplicities=multiplicities,
+        ledger=ledger,
+    )
+
+
+def verify_stretch(
+    graph: Graph, spanner_edges: Set[Tuple[int, int]], max_stretch: int
+) -> List[Tuple[int, int]]:
+    """Return the original edges whose spanner distance exceeds the
+    stretch budget (empty list = valid spanner).
+
+    Checking every *edge* suffices: stretch on edges implies the same
+    stretch on all pairs (concatenate along shortest paths).
+    """
+    sub = Graph(graph.n, spanner_edges)
+    violations = []
+    for u, v in graph.edges():
+        if (min(u, v), max(u, v)) in sub._frozen_edge_set:
+            continue
+        if sub.distance(u, v) > max_stretch:
+            violations.append((u, v))
+    return violations

@@ -1,0 +1,61 @@
+"""Common result types for decomposition algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.local.gather import RoundLedger
+
+
+@dataclass
+class Decomposition:
+    """A low-diameter decomposition (Definition 1.4).
+
+    ``clusters`` are mutually non-adjacent vertex sets; ``deleted`` are
+    the unclustered vertices; together they partition the vertex set the
+    algorithm ran on.  ``centers[i]`` is the seed vertex of cluster
+    ``i`` when the algorithm has one.
+    """
+
+    clusters: List[Set[int]]
+    deleted: Set[int]
+    centers: List[Optional[int]] = field(default_factory=list)
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def clustered_vertices(self) -> Set[int]:
+        out: Set[int] = set()
+        for c in self.clusters:
+            out |= c
+        return out
+
+    def unclustered_fraction(self, n: Optional[int] = None) -> float:
+        total = n if n is not None else len(self.clustered_vertices()) + len(self.deleted)
+        return len(self.deleted) / total if total else 0.0
+
+
+@dataclass
+class SparseCover:
+    """A sparse cover (Lemma C.2 output).
+
+    ``clusters`` may overlap; ``multiplicity[v]`` counts how many
+    clusters contain ``v`` (the quantity dominated by a geometric random
+    variable).  Every hyperedge of the underlying hypergraph is fully
+    contained in at least one cluster.
+    """
+
+    clusters: List[Set[int]]
+    centers: List[Optional[int]] = field(default_factory=list)
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    def multiplicity(self, n: int) -> List[int]:
+        counts = [0] * n
+        for cluster in self.clusters:
+            for v in cluster:
+                counts[v] += 1
+        return counts

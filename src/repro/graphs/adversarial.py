@@ -1,0 +1,136 @@
+"""Adversarial graph families from Appendix C.
+
+These are the explicit constructions showing that the classical
+low-diameter decompositions fail *with non-negligible probability*:
+
+* :func:`clique_family` — Claim C.1: running the Elkin–Neiman algorithm
+  on ``K_n`` deletes at least ``n - 1`` vertices with probability
+  Ω(ε) (when the two largest shifted values are within 1).
+* :func:`mpx_bad_family` — Claim C.2: the ``S_L / S_R / L / R``
+  construction where Miller–Peng–Xu cuts a ``1 - O(1/n)`` fraction of
+  all edges with probability Ω(ε).
+
+Both can be given arbitrarily large diameter via
+:func:`repro.graphs.transforms.attach_path` (Appendix C remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import complete_graph
+from repro.graphs.transforms import attach_path
+from repro.util.validation import require
+
+
+def clique_family(n: int, tail: int = 0) -> Graph:
+    """Claim C.1 family: the clique ``K_n``, optionally with a path tail.
+
+    On this family the Elkin–Neiman deletion rule fires for every vertex
+    except the maximizer whenever ``T_(1) <= T_(2) + 1``, an event of
+    probability ``1 - e^{-eps} = Omega(eps)``.
+    """
+    g = complete_graph(n)
+    if tail > 0:
+        g = attach_path(g, tail, anchor=0)
+    return g
+
+
+@dataclass(frozen=True)
+class MpxBadGraph:
+    """Claim C.2 construction.
+
+    ``S_L, S_R, L, R`` each have ``t`` vertices; ``u`` is adjacent to all
+    of ``S_L ∪ L``; ``v`` to all of ``S_R ∪ R``; ``(L, R)`` is a complete
+    bipartite graph.  Total ``n = 4t + 2`` vertices, ``m = t^2 + 4t``
+    edges.  When the top shifted value lands in ``S_L``, the second in
+    ``S_R``, with gaps as in event ``E``, all ``t^2`` bipartite edges are
+    cut by MPX.
+    """
+
+    graph: Graph
+    t: int
+    u: int
+    v: int
+    s_left: Tuple[int, ...]
+    s_right: Tuple[int, ...]
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+
+    @property
+    def bipartite_edges(self) -> List[Tuple[int, int]]:
+        """The ``t^2`` edges between ``L`` and ``R`` (the ones that get cut)."""
+        return [
+            (min(a, b), max(a, b)) for a in self.left for b in self.right
+        ]
+
+
+def mpx_bad_family(t: int, tail: int = 0) -> MpxBadGraph:
+    """Build the Claim C.2 graph with parameter ``t`` (``n = 4t + 2``)."""
+    require(t >= 1, f"t must be >= 1, got {t}")
+    u = 0
+    v = 1
+    s_left = tuple(range(2, 2 + t))
+    s_right = tuple(range(2 + t, 2 + 2 * t))
+    left = tuple(range(2 + 2 * t, 2 + 3 * t))
+    right = tuple(range(2 + 3 * t, 2 + 4 * t))
+    edges: List[Tuple[int, int]] = []
+    for a in left:
+        for b in right:
+            edges.append((a, b))
+    for a in s_left:
+        edges.append((u, a))
+    for a in left:
+        edges.append((u, a))
+    for b in s_right:
+        edges.append((v, b))
+    for b in right:
+        edges.append((v, b))
+    graph = Graph(2 + 4 * t, edges)
+    if tail > 0:
+        graph = attach_path(graph, tail, anchor=u)
+        graph_vertices_shift = 0  # vertices unchanged, only appended
+        del graph_vertices_shift
+    return MpxBadGraph(
+        graph=graph,
+        t=t,
+        u=u,
+        v=v,
+        s_left=s_left,
+        s_right=s_right,
+        left=left,
+        right=right,
+    )
+
+
+def en_failure_event(graph: Graph, shifts: List[float]) -> bool:
+    """Check Claim C.1's sufficient failure condition on a clique.
+
+    Given the sampled shifts, the event ``T_(1) <= T_(2) + 1`` forces
+    every vertex except the maximizer to delete itself under the
+    Elkin–Neiman rule on ``K_n``.  Exposed so the E6 bench can verify
+    that observed failures coincide with the analytic event.
+    """
+    require(len(shifts) == graph.n, "need one shift per vertex")
+    ordered = sorted(shifts, reverse=True)
+    if len(ordered) < 2:
+        return False
+    return ordered[0] <= ordered[1] + 1.0
+
+
+def mpx_failure_event(bad: MpxBadGraph, shifts: List[float]) -> bool:
+    """Check Claim C.2's event ``E`` given sampled shifts.
+
+    ``E``: the largest shift is in ``S_L``, the second largest in
+    ``S_R``, ``T_(2) > T_(3) + 2`` and ``T_(1) < T_(2) + 1``.
+    """
+    require(len(shifts) == bad.graph.n, "need one shift per vertex")
+    order = sorted(range(len(shifts)), key=lambda i: -shifts[i])
+    w1, w2 = order[0], order[1]
+    t1, t2 = shifts[w1], shifts[w2]
+    t3 = shifts[order[2]] if len(order) > 2 else float("-inf")
+    in_sl = w1 in set(bad.s_left)
+    in_sr = w2 in set(bad.s_right)
+    return in_sl and in_sr and t2 > t3 + 2 and t1 < t2 + 1

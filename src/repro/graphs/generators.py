@@ -1,0 +1,288 @@
+"""Seeded graph generators for workloads and tests.
+
+All generators return :class:`repro.graphs.graph.Graph` and take an
+explicit RNG (or seed) so every experiment is reproducible.  The
+families here are the ones the paper's motivating problems live on:
+bounded-degree networks (random regular), sparse random networks
+(Erdős–Rényi), meshes (grids/tori), low-diameter trees, and rings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.rng import RngStream, ensure_rng
+from repro.util.validation import require
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices ``0 - 1 - ... - (n-1)``."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    require(n >= 3, f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique ``K_n``."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star: center 0 joined to ``n - 1`` leaves."""
+    require(n >= 1, f"star needs n >= 1, got {n}")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with left part ``0..a-1`` and right part ``a..a+b-1``."""
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def grid_graph(rows: int, cols: int, torus: bool = False) -> Graph:
+    """2-D grid (optionally wrapped into a torus)."""
+    require(rows >= 1 and cols >= 1, "grid needs positive dimensions")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            elif torus and cols > 2:
+                edges.append((vid(r, c), vid(r, 0)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+            elif torus and rows > 2:
+                edges.append((vid(r, c), vid(0, c)))
+    return Graph(rows * cols, edges)
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given ``height``."""
+    require(branching >= 1, "branching must be >= 1")
+    require(height >= 0, "height must be >= 0")
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Graph(next_id, edges)
+
+
+def random_tree(n: int, rng: Optional[RngStream] = None) -> Graph:
+    """Uniform random labelled tree via a random Prüfer-like attachment."""
+    rng = ensure_rng(rng)
+    require(n >= 1, f"tree needs n >= 1, got {n}")
+    edges = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+    return Graph(n, edges)
+
+
+def erdos_renyi(n: int, p: float, rng: Optional[RngStream] = None) -> Graph:
+    """G(n, p) random graph."""
+    rng = ensure_rng(rng)
+    require(0.0 <= p <= 1.0, f"p must be in [0,1], got {p}")
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def erdos_renyi_connected(
+    n: int, p: float, rng: Optional[RngStream] = None, max_tries: int = 200
+) -> Graph:
+    """G(n, p) conditioned on connectivity (rejection sampling).
+
+    Falls back to patching components with random edges if rejection
+    fails repeatedly (keeps the generator total for small ``p``).
+    """
+    rng = ensure_rng(rng)
+    g = erdos_renyi(n, p, rng)
+    for _ in range(max_tries):
+        if len(g.connected_components()) <= 1:
+            return g
+        g = erdos_renyi(n, p, rng)
+    components = g.connected_components()
+    extra = []
+    reps = [min(c) for c in components]
+    for i in range(1, len(reps)):
+        extra.append((reps[i - 1], reps[i]))
+    return Graph(n, list(g.edges()) + extra)
+
+
+def random_regular(n: int, d: int, rng: Optional[RngStream] = None) -> Graph:
+    """Random ``d``-regular simple graph.
+
+    Small degrees (d <= 3) use the pairing model with rejection (O(1)
+    expected retries); larger degrees delegate to networkx's generator
+    — the pairing model's success probability decays like
+    ``exp(-(d²-1)/4)`` and becomes impractical beyond d ≈ 4.
+    Deterministic given ``rng``.
+    """
+    rng = ensure_rng(rng)
+    require(n * d % 2 == 0, f"n*d must be even, got n={n}, d={d}")
+    require(0 <= d < n, f"need 0 <= d < n, got d={d}, n={n}")
+    if d == 0:
+        return Graph(n, [])
+    if d > 3:
+        import networkx as nx
+
+        seed = int(rng.integers(0, 2**31 - 1))
+        return Graph.from_networkx(nx.random_regular_graph(d, n, seed=seed))
+    for _ in range(2000):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        ok = True
+        pairs = set()
+        for i in range(0, len(stubs), 2):
+            u, w = stubs[i], stubs[i + 1]
+            if u == w:
+                ok = False
+                break
+            a, b = (u, w) if u < w else (w, u)
+            if (a, b) in pairs:
+                ok = False
+                break
+            pairs.add((a, b))
+        if ok:
+            return Graph(n, pairs)
+    raise RuntimeError(f"failed to sample a {d}-regular graph on {n} vertices")
+
+
+def random_bipartite_regular(
+    half: int, d: int, rng: Optional[RngStream] = None
+) -> Graph:
+    """Random ``d``-regular bipartite graph with ``half`` vertices a side.
+
+    Union of ``d`` random perfect matchings between the sides, resampled
+    until simple.  Bipartite regular graphs are the "case 1" instances
+    of the Appendix B lower bound (maximum independent set = n/2).
+    """
+    rng = ensure_rng(rng)
+    require(0 <= d <= half, f"need 0 <= d <= half, got d={d}, half={half}")
+    for _ in range(2000):
+        pairs = set()
+        ok = True
+        for _ in range(d):
+            perm = rng.permutation(half)
+            for i in range(half):
+                e = (i, half + int(perm[i]))
+                if e in pairs:
+                    ok = False
+                    break
+                pairs.add(e)
+            if not ok:
+                break
+        if ok:
+            return Graph(2 * half, pairs)
+    raise RuntimeError("failed to sample a simple bipartite regular graph")
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    rng: Optional[RngStream] = None,
+    connect: bool = True,
+) -> Graph:
+    """Random geometric (unit-disk) graph on the unit square.
+
+    The standard wireless-network topology model: vertices at uniform
+    positions, edges between pairs within ``radius``.  ``connect=True``
+    patches disconnected components with an edge between their closest
+    representatives (keeps the generator total for benchmark use).
+    """
+    rng = ensure_rng(rng)
+    require(radius > 0, f"radius must be positive, got {radius}")
+    xs = rng.random(n)
+    ys = rng.random(n)
+    edges: List[Tuple[int, int]] = []
+    r2 = radius * radius
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx * dx + dy * dy <= r2:
+                edges.append((i, j))
+    g = Graph(n, edges)
+    if not connect:
+        return g
+    components = g.connected_components()
+    while len(components) > 1:
+        best = None
+        for a in components[0]:
+            for b in components[1]:
+                d = (xs[a] - xs[b]) ** 2 + (ys[a] - ys[b]) ** 2
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        edges.append((best[1], best[2]))
+        g = Graph(n, edges)
+        components = g.connected_components()
+    return g
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """Caterpillar tree: a path of length ``spine`` with ``legs`` pendant
+    vertices per spine vertex.  Exercises the dominating-set failure mode
+    of Section 1.4.3 (one hub with many degree-1 neighbors)."""
+    edges: List[Tuple[int, int]] = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, next_id))
+            next_id += 1
+    return Graph(next_id, edges)
+
+
+def hub_and_spokes(num_hubs: int, spokes: int) -> Graph:
+    """Disjoint stars joined in a path through their centers.
+
+    The Section 1.4.3 example: a vertex adjacent to many degree-one
+    vertices, where deleting the hub is catastrophic for covering.
+    """
+    require(num_hubs >= 1, "need at least one hub")
+    edges: List[Tuple[int, int]] = []
+    hubs = list(range(num_hubs))
+    for i in range(num_hubs - 1):
+        edges.append((hubs[i], hubs[i + 1]))
+    next_id = num_hubs
+    for h in hubs:
+        for _ in range(spokes):
+            edges.append((h, next_id))
+            next_id += 1
+    return Graph(next_id, edges)
+
+
+def standard_families(
+    n: int, rng: Optional[RngStream] = None
+) -> List[Tuple[str, Graph]]:
+    """The benchmark workload suite: one graph per family at scale ~n.
+
+    Returns (name, graph) pairs; used by the E1/E3/E4 benches so every
+    experiment sweeps the same families.
+    """
+    rng = ensure_rng(rng)
+    side = max(2, int(math.isqrt(n)))
+    even_n = n if (n * 3) % 2 == 0 else n + 1
+    return [
+        ("random-3-regular", random_regular(even_n, 3, rng)),
+        ("erdos-renyi", erdos_renyi_connected(n, min(1.0, 2.5 / max(n - 1, 1)), rng)),
+        ("grid", grid_graph(side, side)),
+        ("random-tree", random_tree(n, rng)),
+    ]

@@ -1,0 +1,77 @@
+"""Small named high-girth graphs and girth-related transforms.
+
+The Appendix B lower bound needs pairs of regular graphs with equal
+degree and girth exceeding twice the round budget, one bipartite and one
+not.  LPS graphs (``repro.graphs.ramanujan``) provide asymptotic
+families; the named cages here provide tiny fixtures for unit tests,
+and :func:`bipartite_double_cover` turns any non-bipartite high-girth
+graph into a bipartite partner with the same degree and local views.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 3-regular, girth 5, non-bipartite, n = 10."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph(10, outer + spokes + inner)
+
+
+def heawood_graph() -> Graph:
+    """The Heawood graph: 3-regular, girth 6, bipartite, n = 14.
+
+    Incidence graph of the Fano plane; standard LCF notation [5, -5]^7.
+    """
+    edges: List[Tuple[int, int]] = [(i, (i + 1) % 14) for i in range(14)]
+    for i in range(0, 14, 2):
+        edges.append((i, (i + 5) % 14))
+    return Graph(14, edges)
+
+
+def pappus_graph() -> Graph:
+    """The Pappus graph: 3-regular, girth 6, bipartite, n = 18.
+
+    LCF notation [5, 7, -7, 7, -7, -5]^3.
+    """
+    lcf = [5, 7, -7, 7, -7, -5] * 3
+    edges: List[Tuple[int, int]] = [(i, (i + 1) % 18) for i in range(18)]
+    for i, jump in enumerate(lcf):
+        j = (i + jump) % 18
+        edges.append((min(i, j), max(i, j)))
+    return Graph(18, edges)
+
+
+def mcgee_graph() -> Graph:
+    """The McGee graph: 3-regular, girth 7, non-bipartite, n = 24.
+
+    LCF notation [12, 7, -7]^8.
+    """
+    lcf = [12, 7, -7] * 8
+    edges: List[Tuple[int, int]] = [(i, (i + 1) % 24) for i in range(24)]
+    for i, jump in enumerate(lcf):
+        j = (i + jump) % 24
+        edges.append((min(i, j), max(i, j)))
+    return Graph(24, edges)
+
+
+def bipartite_double_cover(graph: Graph) -> Graph:
+    """The bipartite double cover ``G × K_2``.
+
+    Vertex ``(v, side)`` becomes ``v + side * n``; every edge ``{u, v}``
+    becomes ``{(u,0),(v,1)}`` and ``{(u,1),(v,0)}``.  The cover is
+    ``d``-regular when ``G`` is, always bipartite, and locally
+    indistinguishable from ``G`` up to radius ``girth(G)/2 - 1`` — the
+    exact mechanism the Appendix B indistinguishability argument uses.
+    """
+    n = graph.n
+    edges: List[Tuple[int, int]] = []
+    for u, v in graph.edges():
+        edges.append((u, v + n))
+        edges.append((v, u + n))
+    return Graph(2 * n, edges)

@@ -1,0 +1,152 @@
+"""Number-theoretic helpers for the LPS Ramanujan graph construction.
+
+Everything here is deterministic and exact: Miller–Rabin with the known
+deterministic base set (valid far beyond any size used here), Legendre
+symbols by Euler's criterion, Tonelli–Shanks square roots, and the
+four-square enumeration that yields the ``p + 1`` LPS generators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.util.validation import require
+
+# Deterministic Miller-Rabin bases valid for all n < 3,317,044,064,679,887,385,961,981.
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _MR_BASES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def primes_in_progression(
+    residue: int, modulus: int, start: int = 2
+) -> Iterator[int]:
+    """Yield primes ``p >= start`` with ``p ≡ residue (mod modulus)``.
+
+    Dirichlet guarantees infinitely many when gcd(residue, modulus) = 1
+    (the paper invokes this plus a Bertrand-type density bound [Mor93]).
+    """
+    require(math.gcd(residue % modulus, modulus) == 1,
+            "residue and modulus must be coprime")
+    candidate = start
+    remainder = candidate % modulus
+    # Advance to the right residue class.
+    delta = (residue - remainder) % modulus
+    candidate += delta
+    while True:
+        if candidate >= start and is_prime(candidate):
+            yield candidate
+        candidate += modulus
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol (a|p) for odd prime ``p`` via Euler's criterion."""
+    require(p > 2 and is_prime(p), f"p must be an odd prime, got {p}")
+    a %= p
+    if a == 0:
+        return 0
+    result = pow(a, (p - 1) // 2, p)
+    return 1 if result == 1 else -1
+
+
+def sqrt_mod(a: int, p: int) -> int:
+    """A square root of ``a`` modulo odd prime ``p`` (Tonelli–Shanks).
+
+    Raises ``ValueError`` when ``a`` is a non-residue.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        raise ValueError(f"{a} is not a quadratic residue mod {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p ≡ 1 (mod 4).
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # Find least i with t^(2^i) == 1.
+        i = 0
+        t2i = t
+        while t2i != 1:
+            t2i = t2i * t2i % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r
+
+
+def lps_quadruples(p: int) -> List[Tuple[int, int, int, int]]:
+    """All integer solutions of ``a² + b² + c² + d² = p`` with ``a > 0``
+    odd and ``b, c, d`` even.
+
+    For a prime ``p ≡ 1 (mod 4)`` there are exactly ``p + 1`` such
+    quadruples (Jacobi); these index the LPS generators.
+    """
+    require(p % 4 == 1 and is_prime(p), f"p must be a prime ≡ 1 mod 4, got {p}")
+    bound = math.isqrt(p)
+    even_start = -(bound - bound % 2)  # smallest even value >= -bound
+    solutions: List[Tuple[int, int, int, int]] = []
+    for a in range(1, bound + 1, 2):
+        rest_a = p - a * a
+        if rest_a < 0:
+            break
+        for b in range(even_start, bound + 1, 2):
+            rest_b = rest_a - b * b
+            if rest_b < 0:
+                continue
+            for c in range(even_start, bound + 1, 2):
+                rest_c = rest_b - c * c
+                if rest_c < 0:
+                    continue
+                d2 = rest_c
+                d = math.isqrt(d2)
+                if d * d != d2 or d % 2 != 0:
+                    continue
+                solutions.append((a, b, c, d))
+                if d != 0:
+                    solutions.append((a, b, c, -d))
+    # Deduplicate (the -d branch may duplicate d = 0 cases defensively).
+    unique = sorted(set(solutions))
+    if len(unique) != p + 1:
+        raise AssertionError(
+            f"expected {p + 1} LPS quadruples for p={p}, found {len(unique)}"
+        )
+    return unique

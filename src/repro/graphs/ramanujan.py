@@ -1,0 +1,218 @@
+"""Lubotzky–Phillips–Sarnak Ramanujan graphs ``X^{p,q}`` (Theorem B.1).
+
+These are the lower-bound instances of Appendix B: ``(p+1)``-regular
+Cayley graphs of PSL(2, q) or PGL(2, q) with girth Ω(log n).  The
+Legendre symbol ``(q|p)`` decides the case:
+
+* ``(q|p) = -1`` — bipartite, ``n = q(q² − 1)`` (Cayley graph of PGL);
+  maximum independent set is exactly ``n/2``.
+* ``(q|p) = +1`` — non-bipartite, ``n = q(q² − 1)/2`` (Cayley graph of
+  PSL); maximum independent set at most ``2√p/(p+1) · n``.
+
+Construction: each four-square representation ``a² + b² + c² + d² = p``
+(``a`` odd positive, ``b, c, d`` even) maps to the matrix
+``[[a + ib, c + id], [−c + id, a − ib]]`` over F_q, where ``i² = −1``.
+Vertices are projective matrices (canonical up to scalar); the graph is
+the Cayley closure of the identity under the ``p + 1`` generators, which
+lands on PSL or all of PGL automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.numbertheory import (
+    is_prime,
+    legendre_symbol,
+    lps_quadruples,
+    primes_in_progression,
+    sqrt_mod,
+)
+from repro.util.validation import require
+
+Matrix = Tuple[int, int, int, int]  # row-major 2x2 over F_q
+
+
+def _mat_mul(x: Matrix, y: Matrix, q: int) -> Matrix:
+    a, b, c, d = x
+    e, f, g, h = y
+    return (
+        (a * e + b * g) % q,
+        (a * f + b * h) % q,
+        (c * e + d * g) % q,
+        (c * f + d * h) % q,
+    )
+
+
+def _canonical(m: Matrix, q: int) -> Matrix:
+    """Projective canonical form: scale so the first nonzero entry is 1."""
+    for entry in m:
+        if entry % q != 0:
+            inv = pow(entry, q - 2, q)
+            return tuple(x * inv % q for x in m)  # type: ignore[return-value]
+    raise ValueError("zero matrix is not in PGL(2, q)")
+
+
+def lps_generators(p: int, q: int) -> List[Matrix]:
+    """The ``p + 1`` canonical generator matrices of ``X^{p,q}``."""
+    require(p != q, "p and q must be distinct primes")
+    require(q % 4 == 1 and is_prime(q), f"q must be a prime ≡ 1 mod 4, got {q}")
+    require(q > 2 * math.isqrt(p), f"need q > 2*sqrt(p) for simplicity, got q={q}")
+    i = sqrt_mod(q - 1, q)  # i^2 = -1 (mod q)
+    gens = []
+    for a, b, c, d in lps_quadruples(p):
+        m: Matrix = (
+            (a + i * b) % q,
+            (c + i * d) % q,
+            (-c + i * d) % q,
+            (a - i * b) % q,
+        )
+        gens.append(_canonical(m, q))
+    unique = set(gens)
+    if len(unique) != p + 1:
+        raise AssertionError(
+            f"generators collapsed projectively: {len(unique)} != {p + 1}"
+        )
+    return gens
+
+
+@dataclass(frozen=True)
+class LpsGraph:
+    """A constructed ``X^{p,q}`` with its certified properties."""
+
+    p: int
+    q: int
+    graph: Graph
+    bipartite: bool
+    #: vertex index of the group identity (BFS root; the graph is
+    #: vertex-transitive so single-root girth computations are exact).
+    identity: int
+    #: Theorem B.1 girth lower bound for this case.
+    girth_lower_bound: float
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def degree(self) -> int:
+        return self.p + 1
+
+    def independence_upper_bound(self) -> float:
+        """Upper bound on the maximum independent set size.
+
+        Bipartite case: exactly ``n/2``.  Non-bipartite case: the
+        Theorem B.1 bound ``2√p/(p+1) · n``.
+        """
+        if self.bipartite:
+            return self.n / 2
+        return 2.0 * math.sqrt(self.p) / (self.p + 1) * self.n
+
+
+def lps_graph(p: int = 17, q: int = 13) -> LpsGraph:
+    """Construct the LPS Ramanujan graph ``X^{p,q}``.
+
+    Parameters follow Appendix B, which fixes ``p = 17`` (18-regular
+    graphs) and varies ``q``.  Vertex 0 is the group identity.
+    """
+    require(p % 4 == 1 and is_prime(p), f"p must be a prime ≡ 1 mod 4, got {p}")
+    gens = lps_generators(p, q)
+    identity: Matrix = (1, 0, 0, 1)
+    index: Dict[Matrix, int] = {identity: 0}
+    order: List[Matrix] = [identity]
+    edges: List[Tuple[int, int]] = []
+    head = 0
+    while head < len(order):
+        current = order[head]
+        cur_idx = index[current]
+        head += 1
+        for g in gens:
+            nxt = _canonical(_mat_mul(current, g, q), q)
+            nxt_idx = index.get(nxt)
+            if nxt_idx is None:
+                nxt_idx = len(order)
+                index[nxt] = nxt_idx
+                order.append(nxt)
+            if cur_idx < nxt_idx:
+                edges.append((cur_idx, nxt_idx))
+            elif nxt_idx < cur_idx:
+                edges.append((nxt_idx, cur_idx))
+            # cur_idx == nxt_idx cannot happen: generators are not
+            # projectively scalar for q > 2*sqrt(p).
+    graph = Graph(len(order), edges)
+    symbol = legendre_symbol(q, p)
+    bipartite = symbol == -1
+    pgl_order = q * (q * q - 1)
+    expected = pgl_order if bipartite else pgl_order // 2
+    if graph.n != expected:
+        raise AssertionError(
+            f"X^{{{p},{q}}} has {graph.n} vertices, expected {expected}"
+        )
+    if bipartite:
+        girth_bound = 4 * math.log(q, p) - math.log(4, p)
+    else:
+        girth_bound = 2 * math.log(q, p)
+    return LpsGraph(
+        p=p,
+        q=q,
+        graph=graph,
+        bipartite=bipartite,
+        identity=0,
+        girth_lower_bound=girth_bound,
+    )
+
+
+def girth_vertex_transitive(graph: Graph, root: int = 0) -> float:
+    """Girth of a vertex-transitive graph via BFS from a single root.
+
+    In a vertex-transitive graph the shortest cycle through any fixed
+    vertex has the globally minimum length, so one BFS suffices — this
+    makes girth computation on thousand-vertex LPS graphs cheap.
+    """
+    from collections import deque
+
+    dist = {root: 0}
+    parent = {root: -1}
+    queue = deque([root])
+    best = float("inf")
+    while queue:
+        u = queue.popleft()
+        if 2 * dist[u] >= best - 1:
+            continue
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                parent[w] = u
+                queue.append(w)
+            elif parent[u] != w:
+                best = min(best, dist[u] + dist[w] + 1)
+    return best
+
+
+def find_lps_q(
+    p: int = 17,
+    bipartite: Optional[bool] = None,
+    start: int = 5,
+    limit: int = 200,
+) -> Iterator[int]:
+    """Yield primes ``q ≡ 1 (mod 4)`` usable in ``X^{p,q}``.
+
+    ``bipartite=True`` filters to ``(q|p) = -1`` (case 1 of Theorem
+    B.1); ``False`` to ``(q|p) = +1``; ``None`` yields both.
+    """
+    for q in primes_in_progression(1, 4, start=start):
+        if q > limit:
+            return
+        if q == p or q <= 2 * math.isqrt(p):
+            continue
+        if bipartite is None:
+            yield q
+        else:
+            symbol = legendre_symbol(q, p)
+            if bipartite and symbol == -1:
+                yield q
+            elif not bipartite and symbol == 1:
+                yield q

@@ -1,0 +1,164 @@
+"""Graph transforms used by the Appendix B lower-bound reductions.
+
+* :func:`subdivide` — replace every edge by a path of length ``2x + 1``
+  (Theorems B.3 and B.7).  The transform records enough structure to map
+  solutions back: for independent sets the projection of Theorem B.3,
+  for cuts the parity argument of Theorem B.7.
+* :func:`dominating_gadget` — add a vertex ``w_e`` per edge adjacent to
+  both endpoints (Theorem B.5), giving ``gamma(G*) = tau(G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class SubdividedGraph:
+    """Result of subdividing each edge of ``base`` into a path of length
+    ``2x + 1``.
+
+    Attributes
+    ----------
+    base:
+        The original graph ``G``.
+    graph:
+        The subdivided graph ``G_x``.  Vertices ``0..base.n-1`` are the
+        original vertices; path-internal vertices follow.
+    x:
+        Subdivision parameter; each edge becomes ``2x`` new vertices.
+    edge_paths:
+        For every original edge ``(u, v)`` (with u < v), the full vertex
+        path ``[u, w_1, ..., w_2x, v]`` in ``graph``.
+    """
+
+    base: Graph
+    graph: Graph
+    x: int
+    edge_paths: Dict[Tuple[int, int], Tuple[int, ...]]
+
+    def path_edges(self, e: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """The ``2x + 1`` edges of the path replacing original edge ``e``."""
+        path = self.edge_paths[e]
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def project_independent_set(self, iset: Set[int]) -> Set[int]:
+        """Map an independent set of ``G_x`` back to one of ``G``.
+
+        Implements the projection from the proof of Theorem B.3: keep an
+        original vertex ``v`` when ``v`` is chosen and no chosen original
+        neighbor has a smaller label (ties broken by label rather than
+        random IDs — equivalent for correctness).
+        """
+        result = set()
+        for v in range(self.base.n):
+            if v not in iset:
+                continue
+            dominated = False
+            for u in self.base.neighbors(v):
+                if u in iset and u < v:
+                    dominated = True
+                    break
+            if not dominated:
+                result.add(v)
+        return result
+
+    def project_cut(self, cut_edges: Set[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+        """Map a cut of ``G_x`` back to a cut of ``G`` (Theorem B.7).
+
+        Original edge ``e`` joins the projected cut iff an odd number of
+        its path edges are in ``cut_edges`` (endpoints then lie on
+        opposite sides of the bipartition induced by the cut).
+        """
+        normalized = {tuple(sorted(e)) for e in cut_edges}
+        result = set()
+        for e, path in self.edge_paths.items():
+            k = sum(
+                1
+                for i in range(len(path) - 1)
+                if tuple(sorted((path[i], path[i + 1]))) in normalized
+            )
+            if k % 2 == 1:
+                result.add(e)
+        return result
+
+
+def subdivide(graph: Graph, x: int) -> SubdividedGraph:
+    """Subdivide every edge of ``graph`` into a path of length ``2x + 1``.
+
+    ``x = 0`` returns the graph unchanged (paths of length one).
+    """
+    require(x >= 0, f"x must be >= 0, got {x}")
+    edges: List[Tuple[int, int]] = []
+    edge_paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    next_id = graph.n
+    for u, v in graph.edges():
+        if x == 0:
+            edges.append((u, v))
+            edge_paths[(u, v)] = (u, v)
+            continue
+        internal = list(range(next_id, next_id + 2 * x))
+        next_id += 2 * x
+        path = [u] + internal + [v]
+        edge_paths[(u, v)] = tuple(path)
+        edges.extend((path[i], path[i + 1]) for i in range(len(path) - 1))
+    return SubdividedGraph(
+        base=graph, graph=Graph(next_id, edges), x=x, edge_paths=edge_paths
+    )
+
+
+@dataclass(frozen=True)
+class DominatingGadget:
+    """Theorem B.5 gadget ``G*``: vertex ``w_e`` per edge, adjacent to both
+    endpoints, so a minimum dominating set of ``G*`` is a minimum vertex
+    cover of ``G``."""
+
+    base: Graph
+    graph: Graph
+    edge_vertex: Dict[Tuple[int, int], int]
+
+    def project_dominating_set(self, dom: Set[int]) -> Set[int]:
+        """Turn a dominating set of ``G*`` into a vertex cover of ``G`` of
+        no larger size (proof of Theorem B.5): replace every selected
+        ``w_e`` by one endpoint of ``e``."""
+        cover = {v for v in dom if v < self.base.n}
+        for e, w in self.edge_vertex.items():
+            if w in dom:
+                cover.add(e[0])
+        return cover
+
+
+def dominating_gadget(graph: Graph) -> DominatingGadget:
+    """Build ``G*`` from ``G`` (Theorem B.5)."""
+    edges: List[Tuple[int, int]] = list(graph.edges())
+    edge_vertex: Dict[Tuple[int, int], int] = {}
+    next_id = graph.n
+    for u, v in graph.edges():
+        w = next_id
+        next_id += 1
+        edge_vertex[(u, v)] = w
+        edges.append((u, w))
+        edges.append((v, w))
+    return DominatingGadget(
+        base=graph, graph=Graph(next_id, edges), edge_vertex=edge_vertex
+    )
+
+
+def attach_path(graph: Graph, length: int, anchor: int = 0) -> Graph:
+    """Append a path of ``length`` new vertices hanging off ``anchor``.
+
+    Appendix C notes the adversarial families can be given arbitrarily
+    large diameter by appending a long path; this implements exactly that.
+    """
+    require(length >= 0, f"length must be >= 0, got {length}")
+    edges = list(graph.edges())
+    prev = anchor
+    for i in range(length):
+        new = graph.n + i
+        edges.append((prev, new))
+        prev = new
+    return Graph(graph.n + length, edges)

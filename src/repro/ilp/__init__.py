@@ -1,0 +1,88 @@
+"""Packing/covering ILP substrate: instances, problems, solvers."""
+
+from repro.ilp.instance import (
+    FEASIBILITY_TOL,
+    Constraint,
+    CoveringInstance,
+    PackingInstance,
+)
+from repro.ilp.problems import (
+    ProblemEncoding,
+    b_matching_ilp,
+    general_covering_ilp,
+    knapsack_packing_ilp,
+    max_independent_set_ilp,
+    max_matching_ilp,
+    min_dominating_set_ilp,
+    min_edge_cover_ilp,
+    min_vertex_cover_ilp,
+    set_cover_ilp,
+)
+from repro.ilp.exact import (
+    ExactSolution,
+    SolveCache,
+    max_weight_independent_set,
+    solve_covering_exact,
+    solve_mwis,
+    solve_packing_exact,
+)
+from repro.ilp.greedy import (
+    greedy_covering,
+    greedy_dominating_set,
+    greedy_maximal_matching,
+    greedy_mis,
+    greedy_packing,
+    matching_vertex_cover,
+)
+from repro.ilp.lp import lp_relaxation_value, milp_solve
+from repro.ilp.integer import (
+    IntegerReduction,
+    integer_covering_to_binary,
+    integer_packing_to_binary,
+)
+from repro.ilp.verify import (
+    VerifiedSolution,
+    assert_covering_guarantee,
+    assert_packing_guarantee,
+    verify_covering,
+    verify_packing,
+)
+
+__all__ = [
+    "FEASIBILITY_TOL",
+    "Constraint",
+    "CoveringInstance",
+    "PackingInstance",
+    "ProblemEncoding",
+    "b_matching_ilp",
+    "general_covering_ilp",
+    "knapsack_packing_ilp",
+    "max_independent_set_ilp",
+    "max_matching_ilp",
+    "min_dominating_set_ilp",
+    "min_edge_cover_ilp",
+    "min_vertex_cover_ilp",
+    "set_cover_ilp",
+    "ExactSolution",
+    "SolveCache",
+    "max_weight_independent_set",
+    "solve_covering_exact",
+    "solve_mwis",
+    "solve_packing_exact",
+    "greedy_covering",
+    "greedy_dominating_set",
+    "greedy_maximal_matching",
+    "greedy_mis",
+    "greedy_packing",
+    "matching_vertex_cover",
+    "lp_relaxation_value",
+    "milp_solve",
+    "IntegerReduction",
+    "integer_covering_to_binary",
+    "integer_packing_to_binary",
+    "VerifiedSolution",
+    "assert_covering_guarantee",
+    "assert_packing_guarantee",
+    "verify_covering",
+    "verify_packing",
+]

@@ -1,0 +1,101 @@
+"""Fractional LP relaxations and MILP cross-checks via scipy.
+
+Two uses:
+
+* **Optimum bounds** — the LP relaxation upper-bounds packing optima and
+  lower-bounds covering optima, giving approximation-ratio certificates
+  on instances too large for the exact 0/1 solvers (this mirrors the
+  role of [KMW16], which solves the *fractional* problem distributedly).
+* **Cross-validation** — ``milp_solve`` runs scipy's exact HiGHS MILP on
+  small instances to validate our own branch-and-bound solvers in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple, Union
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.ilp.instance import CoveringInstance, PackingInstance
+
+Instance = Union[PackingInstance, CoveringInstance]
+
+
+def _constraint_matrix(instance: Instance) -> Tuple[sparse.csr_matrix, np.ndarray]:
+    rows = []
+    cols = []
+    data = []
+    bounds = np.zeros(instance.m)
+    for j, con in enumerate(instance.constraints):
+        bounds[j] = con.bound
+        for v, c in con.coefficients.items():
+            rows.append(j)
+            cols.append(v)
+            data.append(c)
+    matrix = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(instance.m, instance.n)
+    )
+    return matrix, bounds
+
+
+def lp_relaxation_value(instance: Instance) -> float:
+    """Optimal value of the fractional relaxation over ``[0, 1]^n``.
+
+    For packing this is an upper bound on the ILP optimum; for covering
+    a lower bound.  Raises ``RuntimeError`` if the LP solver fails.
+    """
+    matrix, bounds = _constraint_matrix(instance)
+    weights = np.asarray(instance.weights)
+    if isinstance(instance, PackingInstance):
+        res = optimize.linprog(
+            -weights,
+            A_ub=matrix,
+            b_ub=bounds,
+            bounds=[(0, 1)] * instance.n,
+            method="highs",
+        )
+        if not res.success:
+            raise RuntimeError(f"packing LP failed: {res.message}")
+        return -float(res.fun)
+    res = optimize.linprog(
+        weights,
+        A_ub=-matrix,
+        b_ub=-bounds,
+        bounds=[(0, 1)] * instance.n,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"covering LP failed: {res.message}")
+    return float(res.fun)
+
+
+def milp_solve(instance: Instance) -> Tuple[float, Set[int]]:
+    """Exact 0/1 optimum via scipy's HiGHS MILP (test oracle only)."""
+    matrix, bounds = _constraint_matrix(instance)
+    weights = np.asarray(instance.weights)
+    integrality = np.ones(instance.n)
+    var_bounds = optimize.Bounds(0, 1)
+    if isinstance(instance, PackingInstance):
+        constraints = optimize.LinearConstraint(matrix, ub=bounds)
+        res = optimize.milp(
+            -weights,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=var_bounds,
+        )
+        if res.status != 0:
+            raise RuntimeError(f"packing MILP failed: {res.message}")
+        chosen = {i for i, x in enumerate(res.x) if x > 0.5}
+        return float(-res.fun), chosen
+    constraints = optimize.LinearConstraint(matrix, lb=bounds)
+    res = optimize.milp(
+        weights,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=var_bounds,
+    )
+    if res.status != 0:
+        raise RuntimeError(f"covering MILP failed: {res.message}")
+    chosen = {i for i, x in enumerate(res.x) if x > 0.5}
+    return float(res.fun), chosen

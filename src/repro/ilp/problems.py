@@ -1,0 +1,207 @@
+"""Constructors mapping graph problems to packing/covering ILPs.
+
+These are the fundamental problems the paper's introduction motivates:
+maximum (weight) independent set, maximum matching and b-matching
+(packing); minimum (weight) vertex cover, dominating set, k-distance
+dominating set and set cover (covering).  Each constructor returns the
+ILP instance; where variables are not graph vertices (matching), the
+returned :class:`ProblemEncoding` carries the decoding map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.ilp.instance import Constraint, CoveringInstance, PackingInstance
+from repro.util.validation import require
+
+
+def _vertex_weights(graph: Graph, weights: Optional[Sequence[float]]) -> List[float]:
+    if weights is None:
+        return [1.0] * graph.n
+    require(len(weights) == graph.n, "need one weight per vertex")
+    return [float(w) for w in weights]
+
+
+@dataclass(frozen=True)
+class ProblemEncoding:
+    """An ILP plus the map from variables back to graph objects."""
+
+    instance: "PackingInstance | CoveringInstance"
+    #: variable index -> graph object (vertex id or edge tuple)
+    variable_meaning: Tuple[object, ...]
+
+    def decode(self, chosen: Set[int]) -> List[object]:
+        return [self.variable_meaning[v] for v in sorted(chosen)]
+
+
+# ----------------------------------------------------------------------
+# Packing problems
+# ----------------------------------------------------------------------
+def max_independent_set_ilp(
+    graph: Graph, weights: Optional[Sequence[float]] = None
+) -> PackingInstance:
+    """MIS as packing: ``x_u + x_v <= 1`` per edge.
+
+    The Definition 1.3 hypergraph of this instance has one size-2
+    hyperedge per graph edge, so LOCAL distances coincide with graph
+    distances.
+    """
+    w = _vertex_weights(graph, weights)
+    constraints = [
+        Constraint({u: 1.0, v: 1.0}, 1.0) for u, v in graph.edges()
+    ]
+    return PackingInstance(w, constraints, name="max-independent-set")
+
+
+def max_matching_ilp(
+    graph: Graph, weights: Optional[Dict[Tuple[int, int], float]] = None
+) -> ProblemEncoding:
+    """Maximum (weight) matching as packing over *edge* variables.
+
+    Variable ``i`` is edge ``graph.edges()[i]``; one constraint per
+    vertex bounds the incident selection by 1.  The instance hypergraph
+    is the line-graph structure, exactly the bipartite modelling of ILPs
+    used by [GKM17].
+    """
+    edges = graph.edges()
+    if weights is None:
+        w = [1.0] * len(edges)
+    else:
+        w = [float(weights.get(e, weights.get((e[1], e[0]), 1.0))) for e in edges]
+    incident: List[List[int]] = [[] for _ in range(graph.n)]
+    for i, (u, v) in enumerate(edges):
+        incident[u].append(i)
+        incident[v].append(i)
+    constraints = [
+        Constraint({i: 1.0 for i in inc}, 1.0)
+        for inc in incident
+        if inc
+    ]
+    instance = PackingInstance(w, constraints, name="max-matching")
+    return ProblemEncoding(instance=instance, variable_meaning=tuple(edges))
+
+
+def b_matching_ilp(
+    graph: Graph, capacities: Sequence[int]
+) -> ProblemEncoding:
+    """Maximum b-matching: vertex ``v`` may touch ``capacities[v]`` edges."""
+    require(len(capacities) == graph.n, "need one capacity per vertex")
+    edges = graph.edges()
+    incident: List[List[int]] = [[] for _ in range(graph.n)]
+    for i, (u, v) in enumerate(edges):
+        incident[u].append(i)
+        incident[v].append(i)
+    constraints = [
+        Constraint({i: 1.0 for i in inc}, float(capacities[v]))
+        for v, inc in enumerate(incident)
+        if inc
+    ]
+    instance = PackingInstance([1.0] * len(edges), constraints, name="b-matching")
+    return ProblemEncoding(instance=instance, variable_meaning=tuple(edges))
+
+
+def knapsack_packing_ilp(
+    weights: Sequence[float],
+    sizes: Sequence[Sequence[float]],
+    capacities: Sequence[float],
+) -> PackingInstance:
+    """General multi-dimensional knapsack (dense rows allowed).
+
+    Exercises packing instances whose coefficients are not 0/1 — the
+    general case of Definition 1.1.
+    """
+    require(all(len(row) == len(weights) for row in sizes), "ragged size matrix")
+    require(len(capacities) == len(sizes), "one capacity per row")
+    constraints = []
+    for row, cap in zip(sizes, capacities):
+        coeffs = {i: float(c) for i, c in enumerate(row) if c != 0}
+        if coeffs:
+            constraints.append(Constraint(coeffs, float(cap)))
+    return PackingInstance(list(weights), constraints, name="knapsack")
+
+
+# ----------------------------------------------------------------------
+# Covering problems
+# ----------------------------------------------------------------------
+def min_vertex_cover_ilp(
+    graph: Graph, weights: Optional[Sequence[float]] = None
+) -> CoveringInstance:
+    """MVC as covering: ``x_u + x_v >= 1`` per edge."""
+    w = _vertex_weights(graph, weights)
+    constraints = [
+        Constraint({u: 1.0, v: 1.0}, 1.0) for u, v in graph.edges()
+    ]
+    return CoveringInstance(w, constraints, name="min-vertex-cover")
+
+
+def min_dominating_set_ilp(
+    graph: Graph,
+    weights: Optional[Sequence[float]] = None,
+    k: int = 1,
+) -> CoveringInstance:
+    """(k-distance) minimum dominating set as covering.
+
+    One constraint per vertex ``v``: the selection inside ``N^k[v]``
+    must be at least 1 — the running example of Definition 1.3, where
+    one hypergraph round costs ``k`` graph rounds.
+    """
+    require(k >= 1, f"k must be >= 1, got {k}")
+    w = _vertex_weights(graph, weights)
+    constraints = [
+        Constraint({u: 1.0 for u in graph.ball(v, k)}, 1.0)
+        for v in range(graph.n)
+    ]
+    return CoveringInstance(w, constraints, name=f"min-{k}-dominating-set")
+
+
+def set_cover_ilp(
+    num_sets: int,
+    elements: Sequence[Iterable[int]],
+    weights: Optional[Sequence[float]] = None,
+) -> CoveringInstance:
+    """Weighted set cover: variable per set, constraint per element.
+
+    ``elements[e]`` lists the sets containing element ``e``.
+    """
+    if weights is None:
+        weights = [1.0] * num_sets
+    require(len(weights) == num_sets, "need one weight per set")
+    constraints = []
+    for e, sets in enumerate(elements):
+        coeffs = {int(s): 1.0 for s in sets}
+        require(bool(coeffs), f"element {e} is uncoverable (empty candidate list)")
+        constraints.append(Constraint(coeffs, 1.0))
+    return CoveringInstance(list(weights), constraints, name="set-cover")
+
+
+def min_edge_cover_ilp(graph: Graph) -> ProblemEncoding:
+    """Minimum edge cover: select edges so every vertex is touched."""
+    edges = graph.edges()
+    incident: List[List[int]] = [[] for _ in range(graph.n)]
+    for i, (u, v) in enumerate(edges):
+        incident[u].append(i)
+        incident[v].append(i)
+    constraints = []
+    for v, inc in enumerate(incident):
+        require(bool(inc), f"vertex {v} is isolated: no edge cover exists")
+        constraints.append(Constraint({i: 1.0 for i in inc}, 1.0))
+    instance = CoveringInstance(
+        [1.0] * len(edges), constraints, name="min-edge-cover"
+    )
+    return ProblemEncoding(instance=instance, variable_meaning=tuple(edges))
+
+
+def general_covering_ilp(
+    weights: Sequence[float],
+    rows: Sequence[Dict[int, float]],
+    bounds: Sequence[float],
+) -> CoveringInstance:
+    """General covering instance from sparse rows (arbitrary A, b >= 0)."""
+    require(len(rows) == len(bounds), "one bound per row")
+    constraints = [
+        Constraint(dict(row), float(b)) for row, b in zip(rows, bounds) if row
+    ]
+    return CoveringInstance(list(weights), constraints, name="general-covering")

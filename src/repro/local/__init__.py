@@ -1,0 +1,28 @@
+"""LOCAL model substrate: synchronous engine, gather primitive, ledger."""
+
+from repro.local.engine import EngineResult, run_synchronous
+from repro.local.gather import GatherResult, PhaseCharge, RoundLedger, gather_ball
+from repro.local.node import Broadcast, MessageAlgorithm, NodeContext
+from repro.local.congest import CongestAudit, audit_congest
+from repro.local.algorithms import (
+    bfs_layers_distributed,
+    eccentricities_distributed,
+    luby_mis_distributed,
+)
+
+__all__ = [
+    "EngineResult",
+    "run_synchronous",
+    "GatherResult",
+    "PhaseCharge",
+    "RoundLedger",
+    "gather_ball",
+    "Broadcast",
+    "MessageAlgorithm",
+    "NodeContext",
+    "CongestAudit",
+    "audit_congest",
+    "bfs_layers_distributed",
+    "eccentricities_distributed",
+    "luby_mis_distributed",
+]

@@ -1,0 +1,215 @@
+"""Classic LOCAL algorithms on the message-passing engine.
+
+These serve two purposes: they are reusable building blocks (BFS
+layering underlies every gather; Luby's MIS is the canonical t-round
+algorithm the lower-bound experiments constrain), and they are
+end-to-end evidence that the engine implements the model — each has
+closed-form behaviour the tests check exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.local.engine import EngineResult, run_synchronous
+from repro.local.node import Broadcast, MessageAlgorithm, NodeContext
+from repro.util.rng import SeedLike
+from repro.util.validation import require
+
+
+class BfsLayerNode(MessageAlgorithm):
+    """Distributed BFS from a set of roots: each node outputs its layer.
+
+    Round r delivers the wave to layer r+1; nodes halt once the wave has
+    passed and a deadline (diameter upper bound ñ) expires.
+    """
+
+    def __init__(self, is_root: bool, deadline: int) -> None:
+        super().__init__()
+        self.is_root = is_root
+        self.deadline = deadline
+        self.layer: Optional[int] = 0 if is_root else None
+        self.announce = is_root
+
+    def setup(self, ctx: NodeContext) -> None:
+        pass
+
+    def generate(self, round_index: int):
+        if self.announce:
+            self.announce = False
+            return Broadcast(self.layer)
+        return {}
+
+    def process(self, round_index: int, inbox) -> None:
+        for layer in inbox.values():
+            if self.layer is None or layer + 1 < self.layer:
+                self.layer = layer + 1
+                self.announce = True
+        if round_index + 1 >= self.deadline:
+            self.halt(self.layer)
+
+
+def bfs_layers_distributed(
+    graph: Graph, roots: Set[int], seed: SeedLike = None
+) -> Tuple[List[Optional[int]], int]:
+    """Run :class:`BfsLayerNode`; returns (per-vertex layer, rounds)."""
+    require(bool(roots), "need at least one root")
+    deadline = graph.n + 1
+    counter = iter(range(graph.n))
+
+    def factory() -> BfsLayerNode:
+        v = next(counter)
+        return BfsLayerNode(v in roots, deadline)
+
+    result = run_synchronous(graph, factory, seed=seed, max_rounds=deadline + 2)
+    return list(result.outputs), result.rounds
+
+
+class LubyMisNode(MessageAlgorithm):
+    """Luby's maximal independent set, run to completion.
+
+    Each phase costs two rounds: (1) exchange random priorities among
+    undecided neighbors; local maxima join the MIS; (2) joiners announce,
+    neighbors retire.  Nodes track undecided neighbors by port.
+    """
+
+    STATE_UNDECIDED = "undecided"
+    STATE_IN = "in"
+    STATE_OUT = "out"
+
+    def __init__(self, deadline: int) -> None:
+        super().__init__()
+        self.deadline = deadline
+        self.state = self.STATE_UNDECIDED
+        self.value: float = 0.0
+        self.live_ports: Set[int] = set()
+        self.neighbor_values: Dict[int, float] = {}
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+        self.live_ports = set(ctx.ports())
+
+    def generate(self, round_index: int):
+        if self.state != self.STATE_UNDECIDED:
+            return {}
+        if round_index % 2 == 0:
+            self.value = float(self.ctx.rng.random())
+            return {p: ("value", self.value) for p in self.live_ports}
+        decided = self.value_wins()
+        if decided:
+            return {p: ("joined",) for p in self.live_ports}
+        return {p: ("alive",) for p in self.live_ports}
+
+    def value_wins(self) -> bool:
+        return all(
+            self.value > v for v in self.neighbor_values.values()
+        )
+
+    def process(self, round_index: int, inbox) -> None:
+        if self.state != self.STATE_UNDECIDED:
+            return
+        if round_index % 2 == 0:
+            self.neighbor_values = {
+                p: payload[1]
+                for p, payload in inbox.items()
+                if payload[0] == "value"
+            }
+            # Ports that sent nothing have retired.
+            self.live_ports &= set(inbox.keys())
+            return
+        if self.value_wins():
+            self.state = self.STATE_IN
+            self.halt(True)
+            return
+        joined_ports = {
+            p for p, payload in inbox.items() if payload[0] == "joined"
+        }
+        if joined_ports:
+            self.state = self.STATE_OUT
+            self.halt(False)
+            return
+        self.live_ports = {
+            p for p, payload in inbox.items() if payload[0] == "alive"
+        }
+        if not self.live_ports:
+            # All neighbors decided; we are a local maximum by default.
+            self.state = self.STATE_IN
+            self.halt(True)
+            return
+        if round_index + 1 >= self.deadline:  # pragma: no cover - guard
+            self.halt(False)
+
+
+def luby_mis_distributed(
+    graph: Graph, seed: SeedLike = None, max_phases: int = 200
+) -> Tuple[Set[int], int]:
+    """Run Luby's MIS to completion; returns (selected set, rounds).
+
+    The expected number of phases is O(log n); ``max_phases`` guards the
+    simulation.
+    """
+    deadline = 2 * max_phases
+
+    def factory() -> LubyMisNode:
+        return LubyMisNode(deadline)
+
+    result = run_synchronous(
+        graph, factory, seed=seed, max_rounds=deadline + 2
+    )
+    selected = {v for v, out in enumerate(result.outputs) if out}
+    return selected, result.rounds
+
+
+class EccentricityNode(MessageAlgorithm):
+    """Every node learns its eccentricity by flooding (ID, hops) pairs.
+
+    Message size is Θ(n log n) in the worst case — a deliberately
+    LOCAL-only algorithm; the CONGEST audit flags it (used in tests of
+    the bandwidth auditor).
+    """
+
+    def __init__(self, deadline: int) -> None:
+        super().__init__()
+        self.deadline = deadline
+
+    def setup(self, ctx: NodeContext) -> None:
+        require(ctx.node_id is not None, "eccentricity needs IDs")
+        self.known: Dict[int, int] = {ctx.node_id: 0}
+        self.fresh: Dict[int, int] = dict(self.known)
+
+    def generate(self, round_index: int):
+        if not self.fresh:
+            return {}
+        payload = dict(self.fresh)
+        self.fresh = {}
+        return Broadcast(payload)
+
+    def process(self, round_index: int, inbox) -> None:
+        for payload in inbox.values():
+            for node_id, dist in payload.items():
+                if node_id not in self.known or dist + 1 < self.known[node_id]:
+                    self.known[node_id] = dist + 1
+                    self.fresh[node_id] = dist + 1
+        if round_index + 1 >= self.deadline:
+            self.halt(max(self.known.values()))
+
+
+def eccentricities_distributed(
+    graph: Graph, seed: SeedLike = None
+) -> Tuple[List[int], int]:
+    """Run :class:`EccentricityNode` on a connected graph."""
+    deadline = graph.n + 1
+
+    def factory() -> EccentricityNode:
+        return EccentricityNode(deadline)
+
+    result = run_synchronous(
+        graph,
+        factory,
+        seed=seed,
+        anonymous=False,
+        max_rounds=deadline + 2,
+        measure_bits=True,
+    )
+    return list(result.outputs), result.rounds

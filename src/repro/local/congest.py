@@ -1,0 +1,49 @@
+"""CONGEST-model bandwidth auditing (extension).
+
+The paper works in LOCAL (unbounded messages) and leaves CONGEST
+versions open (Section 6).  This module lets experiments *measure* how
+far an execution is from the CONGEST budget: a run audited with
+:func:`audit_congest` reports the largest message in bits and whether
+it fits ``c · log2(n)`` for a given constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.local.engine import EngineResult
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CongestAudit:
+    """Result of a bandwidth audit."""
+
+    n: int
+    max_message_bits: int
+    budget_bits: int
+
+    @property
+    def fits(self) -> bool:
+        return self.max_message_bits <= self.budget_bits
+
+    @property
+    def overhead_factor(self) -> float:
+        """How many CONGEST messages the largest LOCAL message would need."""
+        if self.budget_bits == 0:
+            return float("inf")
+        return self.max_message_bits / self.budget_bits
+
+
+def audit_congest(result: EngineResult, n: int, constant: float = 32.0) -> CongestAudit:
+    """Audit an engine run against a ``constant * log2(n)`` bit budget.
+
+    The constant absorbs serialization overhead (pickle headers); what
+    matters for the model distinction is the growth order.
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    budget = int(constant * math.log2(n))
+    return CongestAudit(
+        n=n, max_message_bits=result.max_message_bits, budget_bits=budget
+    )

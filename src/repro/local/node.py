@@ -1,0 +1,91 @@
+"""Per-node state and algorithm interface for the LOCAL simulator.
+
+An algorithm in the LOCAL model is, per node, a state machine driven by
+synchronous rounds.  Concrete algorithms subclass
+:class:`MessageAlgorithm` and implement three hooks:
+
+* :meth:`MessageAlgorithm.setup` — runs before round 0; receives the
+  node's :class:`NodeContext` (ports, optional ID, private RNG).
+* :meth:`MessageAlgorithm.generate` — returns this round's outgoing
+  messages, keyed by *port* (0..degree-1) or a :class:`Broadcast`.
+* :meth:`MessageAlgorithm.process` — consumes this round's inbox.
+
+Nodes address neighbors by port number, matching the anonymous
+randomized LOCAL model; when the engine is run with IDs the context also
+carries a distinct ``node_id`` (deterministic LOCAL model).  Message
+size is unbounded (LOCAL); :mod:`repro.local.congest` can audit sizes
+against the CONGEST O(log n) budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send the same payload on every port this round."""
+
+    payload: Any
+
+
+@dataclass
+class NodeContext:
+    """What a node legitimately knows at the start of an execution.
+
+    Attributes
+    ----------
+    degree:
+        Number of incident communication links (ports ``0..degree-1``).
+    rng:
+        The node's private random string (randomized LOCAL model).
+    node_id:
+        Distinct O(log n)-bit identifier, or ``None`` when the engine
+        runs in the anonymous model.
+    n_upper_bound:
+        The global parameter ñ with ``n <= ñ <= n^c`` that the paper
+        assumes is common knowledge (Section 1).
+    """
+
+    degree: int
+    rng: RngStream
+    node_id: Optional[int] = None
+    n_upper_bound: Optional[int] = None
+
+    def ports(self) -> range:
+        return range(self.degree)
+
+
+class MessageAlgorithm:
+    """Base class for synchronous message-passing node programs.
+
+    Subclasses override the three hooks below.  ``self.output`` carries
+    the node's local output; ``self.halted`` signals that the node wants
+    no further rounds (the engine stops when every node has halted and
+    no messages are in flight).
+    """
+
+    def __init__(self) -> None:
+        self.output: Any = None
+        self.halted: bool = False
+
+    # -- hooks ---------------------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        """Initialize local state (runs once, before round 0)."""
+
+    def generate(self, round_index: int) -> "Dict[int, Any] | Broadcast":
+        """Produce outgoing messages for this round (default: silence)."""
+        return {}
+
+    def process(self, round_index: int, inbox: Dict[int, Any]) -> None:
+        """Consume the messages delivered this round (keyed by port)."""
+
+    # -- helpers -------------------------------------------------------
+    def halt(self, output: Any = None) -> None:
+        """Mark this node finished, optionally recording its output."""
+        self.halted = True
+        if output is not None:
+            self.output = output

@@ -1,0 +1,37 @@
+"""Appendix B lower-bound machinery."""
+
+from repro.lower_bounds.indistinguishability import (
+    IndistinguishabilityReport,
+    compare_on_pair,
+    luby_mis_prefix,
+    selected_fraction,
+    views_are_trees,
+)
+from repro.lower_bounds.reductions import (
+    DominatingSetReduction,
+    cut_reduction,
+    cut_subdivision_parameter,
+    dominating_set_reduction,
+    independent_set_from_vertex_cover,
+    mis_reduction,
+    mis_subdivision_parameter,
+    project_subdivided_cut,
+    vertex_cover_from_independent_set,
+)
+
+__all__ = [
+    "IndistinguishabilityReport",
+    "compare_on_pair",
+    "luby_mis_prefix",
+    "selected_fraction",
+    "views_are_trees",
+    "DominatingSetReduction",
+    "cut_reduction",
+    "cut_subdivision_parameter",
+    "dominating_set_reduction",
+    "independent_set_from_vertex_cover",
+    "mis_reduction",
+    "mis_subdivision_parameter",
+    "project_subdivided_cut",
+    "vertex_cover_from_independent_set",
+]

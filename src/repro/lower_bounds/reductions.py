@@ -1,0 +1,126 @@
+"""The Appendix B reductions, packaged as checkable transformations.
+
+Each reduction maps a solution of the transformed instance back to the
+base instance with the loss bound the theorem proves:
+
+* Theorem B.3 — subdividing edges into paths of length ``2x + 1``
+  stretches the Ω(log n) constant-factor MIS bound to Ω(log n / ε) for
+  ``(1 − ε)``-approximation; ``x = ⌊(0.08/ε − 1)/18⌋``.
+* Theorem B.4 — vertex cover = complement of independent set.
+* Theorem B.5 — the per-edge gadget ``G*`` has ``γ(G*) = τ(G)``.
+* Theorem B.7 — cut subdivision with parity decoding;
+  ``x = ⌊(0.001/ε − 1)/2⌋``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    cut_size,
+    is_dominating_set,
+    is_independent_set,
+    is_vertex_cover,
+)
+from repro.graphs.transforms import (
+    DominatingGadget,
+    SubdividedGraph,
+    dominating_gadget,
+    subdivide,
+)
+from repro.util.validation import check_fraction, require
+
+
+def mis_subdivision_parameter(eps: float, degree: int = 18) -> int:
+    """Theorem B.3's ``x = ⌊(0.08·ε⁻¹ − 1)/18⌋`` (for 18-regular graphs)."""
+    check_fraction("eps", eps)
+    return max(0, math.floor((0.08 / eps - 1.0) / degree))
+
+
+def cut_subdivision_parameter(eps: float) -> int:
+    """Theorem B.7's ``x = ⌊(0.001·ε⁻¹ − 1)/2⌋``."""
+    check_fraction("eps", eps)
+    return max(0, math.floor((0.001 / eps - 1.0) / 2.0))
+
+
+def mis_reduction(graph: Graph, eps: float, degree: int = 18) -> SubdividedGraph:
+    """Build ``G_x`` for the Theorem B.3 reduction."""
+    return subdivide(graph, mis_subdivision_parameter(eps, degree))
+
+
+def cut_reduction(graph: Graph, eps: float) -> SubdividedGraph:
+    """Build ``G_x`` for the Theorem B.7 reduction."""
+    return subdivide(graph, cut_subdivision_parameter(eps))
+
+
+def vertex_cover_from_independent_set(
+    graph: Graph, independent: Set[int]
+) -> Set[int]:
+    """Theorem B.4: ``S = V ∖ I`` is a vertex cover iff ``I`` is an IS."""
+    require(
+        is_independent_set(graph, independent),
+        "input is not an independent set",
+    )
+    cover = set(range(graph.n)) - set(independent)
+    assert is_vertex_cover(graph, cover)
+    return cover
+
+
+def independent_set_from_vertex_cover(
+    graph: Graph, cover: Set[int]
+) -> Set[int]:
+    """The reverse direction of Theorem B.4."""
+    require(is_vertex_cover(graph, cover), "input is not a vertex cover")
+    independent = set(range(graph.n)) - set(cover)
+    assert is_independent_set(graph, independent)
+    return independent
+
+
+@dataclass(frozen=True)
+class DominatingSetReduction:
+    """Theorem B.5 bundle: ``G*`` with verified round-trip maps."""
+
+    gadget: DominatingGadget
+
+    @property
+    def transformed(self) -> Graph:
+        return self.gadget.graph
+
+    def vertex_cover_from_dominating_set(self, dom: Set[int]) -> Set[int]:
+        """Project a dominating set of ``G*`` to a vertex cover of ``G``
+        of no larger size (the Theorem B.5 argument)."""
+        require(
+            is_dominating_set(self.gadget.graph, dom),
+            "input does not dominate G*",
+        )
+        cover = self.gadget.project_dominating_set(set(dom))
+        assert is_vertex_cover(self.gadget.base, cover)
+        assert len(cover) <= len(dom)
+        return cover
+
+
+def dominating_set_reduction(graph: Graph) -> DominatingSetReduction:
+    return DominatingSetReduction(gadget=dominating_gadget(graph))
+
+
+def project_subdivided_cut(
+    subdivided: SubdividedGraph, cut_edges: Set[Tuple[int, int]]
+) -> Tuple[Set[Tuple[int, int]], int]:
+    """Theorem B.7's decoding: parity per path, with the size bound.
+
+    Returns ``(base_cut, base_cut_size)``; the proof's inequality
+    ``|E*| <= 2x|E| + |Ẽ|`` ties the subdivided cut to the decoded one.
+    """
+    base_cut = subdivided.project_cut(set(cut_edges))
+    size = len(base_cut)
+    x = subdivided.x
+    m = subdivided.base.m
+    require(
+        len(cut_edges) <= (2 * x + 1) * m,
+        "cut has more edges than the subdivided graph",
+    )
+    assert len(cut_edges) <= 2 * x * m + size
+    return base_cut, size

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded randomness, table formatting, validation."""
+
+from repro.util.rng import RngStream, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "RngStream",
+    "ensure_rng",
+    "spawn_rngs",
+    "Table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "require",
+]

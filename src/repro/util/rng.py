@@ -1,0 +1,137 @@
+"""Seeded randomness helpers.
+
+Every randomized algorithm in this library threads an explicit
+:class:`numpy.random.Generator` so that experiments are reproducible and
+so that the two LOCAL execution engines (message passing vs fast gather)
+can be fed identical randomness and property-tested for equivalence.
+
+In the randomized LOCAL model each vertex is anonymous and owns an
+infinite local random string.  We model that with :func:`spawn_rngs`,
+which derives one independent child generator per vertex from a parent
+seed using :class:`numpy.random.SeedSequence` spawning, so per-vertex
+randomness does not depend on iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+RngStream = np.random.Generator
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> RngStream:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an ``int`` seed,
+    a :class:`~numpy.random.SeedSequence`, or an existing generator
+    (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[RngStream]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used to give each simulated vertex its own private random string, as
+    in the randomized LOCAL model.  The derivation is stable: the same
+    seed always yields the same per-vertex streams regardless of how many
+    are consumed or in which order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Use the generator itself to produce a seed sequence: this keeps
+        # the caller's generator as the single source of entropy.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def exponential_capped(rng: RngStream, lam: float, cap: float) -> float:
+    """Sample Exp(``lam``) and reset to 0 when exceeding ``cap``.
+
+    This is the truncation used by the Elkin–Neiman decomposition
+    (Lemma C.1): values above ``4 ln n / lambda`` would require messages
+    to travel further than the round budget, so the vertex resets its
+    shift to zero and proceeds.
+    """
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    value = rng.exponential(1.0 / lam)
+    if value >= cap:
+        return 0.0
+    return value
+
+
+def bernoulli(rng: RngStream, p: float) -> bool:
+    """One biased coin flip with success probability ``min(p, 1)``."""
+    if p <= 0:
+        return False
+    if p >= 1:
+        return True
+    return bool(rng.random() < p)
+
+
+def choose_distinct(rng: RngStream, items: Sequence[int], k: int) -> List[int]:
+    """Sample ``k`` distinct items (or all of them if fewer)."""
+    if k >= len(items):
+        return list(items)
+    picked = rng.choice(len(items), size=k, replace=False)
+    return [items[int(i)] for i in picked]
+
+
+def stable_seed_from(values: Iterable[int], salt: int = 0) -> int:
+    """Deterministically hash a tuple of integers into a 63-bit seed.
+
+    Used where an algorithm needs fresh-but-reproducible randomness tied
+    to structural values (e.g. one stream per (trial, vertex) pair)
+    without carrying generator objects around.
+    """
+    acc = np.uint64(1469598103934665603) ^ np.uint64(salt & (2**63 - 1))
+    prime = np.uint64(1099511628211)
+    with np.errstate(over="ignore"):
+        for v in values:
+            acc = (acc ^ np.uint64(v & (2**63 - 1))) * prime
+    return int(acc & np.uint64(2**63 - 1))
+
+
+class DeferredCoins:
+    """Pre-drawn Bernoulli coins addressable by (round, vertex).
+
+    The analysis of limited-dependence Chernoff bounds (Lemma A.3) needs
+    per-vertex coins that are independent across vertices.  Drawing them
+    lazily keyed by (round, vertex) keeps engine implementations free to
+    iterate vertices in any order while remaining reproducible.
+    """
+
+    def __init__(self, seed: SeedLike, salt: int = 0) -> None:
+        if isinstance(seed, np.random.Generator):
+            self._base = int(seed.integers(0, 2**63))
+        elif isinstance(seed, np.random.SeedSequence):
+            self._base = int(np.random.default_rng(seed).integers(0, 2**63))
+        elif seed is None:
+            self._base = int(np.random.default_rng().integers(0, 2**63))
+        else:
+            self._base = int(seed)
+        self._salt = salt
+
+    def flip(self, round_index: int, vertex: int, p: float) -> bool:
+        rng = np.random.default_rng(
+            stable_seed_from((self._base, round_index, vertex), self._salt)
+        )
+        return bernoulli(rng, p)
+
+    def uniform(self, round_index: int, vertex: int) -> float:
+        rng = np.random.default_rng(
+            stable_seed_from((self._base, round_index, vertex), self._salt)
+        )
+        return float(rng.random())

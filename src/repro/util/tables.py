@@ -1,0 +1,66 @@
+"""Minimal ASCII table rendering for benchmark harness output.
+
+Benchmarks print the same rows/series a paper table would carry; this
+module keeps that output aligned and copy-pasteable without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """Accumulate rows and render an aligned ASCII table.
+
+    >>> t = Table(["n", "ratio"], title="demo")
+    >>> t.add_row([16, 0.9375])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [_fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in (0, 1) and return it.
+
+    Used for the approximation parameter epsilon: the paper assumes
+    0 < eps < 1 (larger values are clamped by callers, Section 2).
+    """
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_vertex(name: str, vertex: Any, n: int) -> int:
+    """Validate that ``vertex`` is an int in [0, n)."""
+    v = int(vertex)
+    if not 0 <= v < n:
+        raise ValueError(f"{name} must be in [0, {n}), got {vertex!r}")
+    return v

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_regular,
+    random_tree,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20230724)
+
+
+@pytest.fixture
+def small_er(rng):
+    """Connected sparse random graph, n = 40."""
+    return erdos_renyi_connected(40, 0.09, rng)
+
+
+@pytest.fixture
+def small_regular(rng):
+    """Random 3-regular graph, n = 40."""
+    return random_regular(40, 3, rng)
+
+
+@pytest.fixture
+def small_grid():
+    return grid_graph(6, 6)
+
+
+@pytest.fixture
+def small_cycle():
+    return cycle_graph(24)
+
+
+@pytest.fixture
+def small_path():
+    return path_graph(25)
+
+
+@pytest.fixture
+def small_tree(rng):
+    return random_tree(30, rng)
+
+
+@pytest.fixture
+def petersen():
+    return petersen_graph()
+
+
+@pytest.fixture
+def triangle():
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)

@@ -1,0 +1,142 @@
+"""Tests for concentration bounds and statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RatioSummary,
+    bounded_dependence_tail,
+    chernoff_lower,
+    chernoff_upper,
+    empirical_dominates_geometric,
+    empirical_probability,
+    fit_against,
+    geometric_bounded_dependence_tail,
+    geometric_sum_tail,
+    geometric_survival,
+    inverse_eps_slope,
+    loglinear_slope,
+    wilson_interval,
+)
+
+
+class TestChernoff:
+    def test_upper_decreases_in_delta(self):
+        assert chernoff_upper(100, 0.5) < chernoff_upper(100, 0.1)
+
+    def test_upper_decreases_in_mu(self):
+        assert chernoff_upper(200, 0.3) < chernoff_upper(50, 0.3)
+
+    def test_lower_formula(self):
+        assert chernoff_lower(100, 0.2) == pytest.approx(
+            math.exp(-0.04 * 100 / 2)
+        )
+
+    def test_bounds_hold_empirically(self):
+        """Empirical binomial tails stay below the analytic bounds."""
+        rng = np.random.default_rng(0)
+        n, p = 500, 0.3
+        mu = n * p
+        samples = rng.binomial(n, p, size=4000)
+        for delta in (0.2, 0.4):
+            emp = float(np.mean(samples > (1 + delta) * mu))
+            assert emp <= chernoff_upper(mu, delta) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(0, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_lower(10, 1.5)
+
+
+class TestGeometric:
+    def test_survival(self):
+        assert geometric_survival(0.5, 1) == 1.0
+        assert geometric_survival(0.5, 3) == 0.25
+
+    def test_sum_tail_holds_empirically(self):
+        rng = np.random.default_rng(1)
+        n, p = 200, 0.6
+        delta = 1.2  # > 1/p - 1
+        samples = rng.geometric(p, size=(3000, n)).sum(axis=1)
+        mu = n / p
+        emp = float(np.mean(samples > mu + delta * n))
+        assert emp <= geometric_sum_tail(n, p, delta) + 0.01
+
+    def test_sum_tail_validates_delta(self):
+        with pytest.raises(ValueError):
+            geometric_sum_tail(10, 0.5, 0.5)  # needs delta > 1
+
+    def test_empirical_domination(self):
+        rng = np.random.default_rng(2)
+        p = 0.6
+        dominated = list(rng.geometric(p + 0.2, size=2000))
+        assert empirical_dominates_geometric(dominated, p, slack=0.02)
+        heavier = list(rng.geometric(p - 0.35, size=2000))
+        assert not empirical_dominates_geometric(heavier, p, slack=0.02)
+
+
+class TestBoundedDependence:
+    def test_shape(self):
+        # Larger dependence degree weakens the bound.
+        assert bounded_dependence_tail(100, 2, 0.5) < bounded_dependence_tail(
+            100, 50, 0.5
+        )
+
+    def test_geometric_variant(self):
+        v = geometric_bounded_dependence_tail(100, 0.8, 4, 1.0)
+        assert 0 < v
+        with pytest.raises(ValueError):
+            geometric_bounded_dependence_tail(100, 0.5, 4, 0.5)
+
+
+class TestStats:
+    def test_wilson_contains_truth(self):
+        rng = np.random.default_rng(3)
+        p_true = 0.3
+        covered = 0
+        for _ in range(200):
+            trials = 60
+            succ = int(rng.binomial(trials, p_true))
+            lo, hi = wilson_interval(succ, trials)
+            covered += lo <= p_true <= hi
+        assert covered >= 180  # ~95% coverage
+
+    def test_wilson_edges(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0 and lo > 0.6
+
+    def test_ratio_summary(self):
+        s = RatioSummary.of([0.9, 0.95, 1.0, 0.85])
+        assert s.count == 4
+        assert s.minimum == 0.85
+        assert s.maximum == 1.0
+        assert 0.85 <= s.p05 <= s.mean <= s.p95 <= 1.0
+
+    def test_fit_recovers_line(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2.1, 4.2, 5.9, 8.1, 9.9]
+        a, b, r2 = fit_against(xs, ys)
+        assert a == pytest.approx(2.0, abs=0.2)
+        assert r2 > 0.99
+
+    def test_loglinear_slope(self):
+        ns = [16, 64, 256, 1024]
+        rounds = [4 * math.log(n) + 3 for n in ns]
+        a, r2 = loglinear_slope(ns, rounds)
+        assert a == pytest.approx(4.0, abs=0.01)
+        assert r2 > 0.999
+
+    def test_inverse_eps_slope(self):
+        eps = [0.4, 0.2, 0.1, 0.05]
+        rounds = [10 / e for e in eps]
+        a, r2 = inverse_eps_slope(eps, rounds)
+        assert a == pytest.approx(10.0, abs=0.01)
+
+    def test_empirical_probability(self):
+        p, (lo, hi) = empirical_probability([True, False, True, True])
+        assert p == 0.75
+        assert lo <= p <= hi

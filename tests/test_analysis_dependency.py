@@ -1,0 +1,77 @@
+"""Tests for dependency-degree estimation (the Lemma A.3 premise)."""
+
+import math
+
+import pytest
+
+from repro.analysis.dependency import (
+    DependencyProfile,
+    dependency_profile,
+    sparsification_progress,
+)
+from repro.core import LddParams, chang_li_ldd
+from repro.core.ldd import LddTrace
+from repro.graphs import complete_graph, cycle_graph, grid_graph, path_graph
+
+
+class TestProfile:
+    def test_ball_sizes_on_cycle(self):
+        g = cycle_graph(20)
+        p = dependency_profile(g, radius=2)
+        # |N^4(v)| = 9 on a long cycle.
+        assert p.max_ball_size == 9
+        assert p.mean_ball_size == pytest.approx(9.0)
+        assert p.max_dependency_degree == 8
+
+    def test_radius_zero(self):
+        g = grid_graph(3, 3)
+        p = dependency_profile(g, radius=0)
+        assert p.max_ball_size == 1
+        assert p.max_dependency_degree == 0
+
+    def test_within_restriction(self):
+        g = path_graph(10)
+        p = dependency_profile(g, radius=3, within=set(range(3)))
+        assert p.n == 3
+        assert p.max_ball_size == 3  # confined to the residual
+
+    def test_empty_subset(self):
+        g = path_graph(5)
+        p = dependency_profile(g, radius=1, within=set())
+        assert p.n == 0
+        assert p.max_ball_size == 0
+
+    def test_lemma_a3_premise(self):
+        # Dense graph: the premise fails; sparse path: it holds.
+        dense = dependency_profile(complete_graph(30), radius=1)
+        assert not dense.lemma_a3_premise(eps=0.2)
+        sparse = dependency_profile(path_graph(200), radius=1)
+        assert sparse.lemma_a3_premise(eps=0.2)
+
+
+class TestSparsificationTrajectory:
+    def test_cl_phases_reduce_dependency(self):
+        """After the CL sparsification phases, the residual's dependency
+        degree (at the Phase-3 radius) is no larger than the input's —
+        the mechanism behind the w.h.p. bound."""
+        g = complete_graph(24)  # worst-case dense pocket
+        params = LddParams.practical(0.3, g.n)
+        trace = LddTrace()
+        d = chang_li_ldd(g, params, seed=3, trace=trace)
+        residual = set(range(g.n)) - d.deleted - d.clustered_vertices()
+        before = dependency_profile(g, radius=2)
+        after = dependency_profile(g, radius=2, within=residual)
+        assert after.max_ball_size <= before.max_ball_size
+
+    def test_progress_sequence(self):
+        g = grid_graph(5, 5)
+        residuals = [set(range(25)), set(range(12)), set(range(5))]
+        profiles = sparsification_progress(g, residuals, radius=1)
+        assert len(profiles) == 3
+        assert profiles[0].n == 25
+        assert profiles[-1].n == 5
+        assert (
+            profiles[0].max_ball_size
+            >= profiles[1].max_ball_size
+            >= profiles[2].max_ball_size
+        )

@@ -1,0 +1,111 @@
+"""Tests for the sequential carving baseline and geometric generator."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import sequential_carving_packing
+from repro.graphs import cycle_graph, erdos_renyi_connected, random_geometric
+from repro.graphs.metrics import is_independent_set
+from repro.ilp import (
+    SolveCache,
+    max_independent_set_ilp,
+    solve_packing_exact,
+)
+
+
+class TestSequentialCarving:
+    """The Section 1.2 sequential algorithm GKM distributes."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_guarantee_on_er(self, seed):
+        cache = SolveCache()
+        g = erdos_renyi_connected(36, 0.1, np.random.default_rng(seed))
+        inst = max_independent_set_ilp(g)
+        eps = 0.3
+        chosen = sequential_carving_packing(inst, eps, cache=cache, scale=0.4)
+        opt = solve_packing_exact(inst, cache=cache).weight
+        assert is_independent_set(g, chosen)
+        assert inst.weight(chosen) >= (1 - eps) * opt - 1e-9
+
+    def test_deterministic(self):
+        g = cycle_graph(30)
+        inst = max_independent_set_ilp(g)
+        a = sequential_carving_packing(inst, 0.3, scale=0.4)
+        b = sequential_carving_packing(inst, 0.3, scale=0.4)
+        assert a == b  # no randomness: pure sequential procedure
+
+    def test_covers_all_vertices(self):
+        """Every vertex ends up in some carved zone (or its ring)."""
+        g = cycle_graph(40)
+        inst = max_independent_set_ilp(g)
+        chosen = sequential_carving_packing(inst, 0.25, scale=0.4)
+        # On a cycle the (1-eps) MIS must be sizeable.
+        assert inst.weight(chosen) >= (1 - 0.25) * 20 - 1e-9
+
+
+class TestRandomGeometric:
+    def test_connectivity_patch(self):
+        g = random_geometric(40, 0.12, np.random.default_rng(1))
+        assert len(g.connected_components()) == 1
+
+    def test_unpatched_may_disconnect(self):
+        g = random_geometric(
+            40, 0.05, np.random.default_rng(2), connect=False
+        )
+        assert len(g.connected_components()) >= 1  # just runs
+
+    def test_radius_controls_density(self):
+        rng = np.random.default_rng(3)
+        sparse = random_geometric(50, 0.1, rng, connect=False)
+        rng = np.random.default_rng(3)
+        dense = random_geometric(50, 0.35, rng, connect=False)
+        assert dense.m > sparse.m
+
+    def test_reproducible(self):
+        a = random_geometric(30, 0.2, np.random.default_rng(4))
+        b = random_geometric(30, 0.2, np.random.default_rng(4))
+        assert a == b
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            random_geometric(10, 0.0, np.random.default_rng(5))
+
+    def test_works_as_ilp_substrate(self):
+        g = random_geometric(36, 0.2, np.random.default_rng(6))
+        inst = max_independent_set_ilp(g)
+        sol = solve_packing_exact(inst)
+        assert is_independent_set(g, sol.chosen)
+
+
+class TestEnginePortMapping:
+    def test_payloads_arrive_on_correct_ports(self):
+        """Messages sent on port p of v arrive at the reverse port of
+        the neighbor — the wiring every algorithm relies on."""
+        from repro.graphs import path_graph
+        from repro.local import MessageAlgorithm, run_synchronous
+
+        received = {}
+
+        class Tagger(MessageAlgorithm):
+            def setup(self, ctx):
+                self.ctx = ctx
+
+            def generate(self, round_index):
+                if round_index == 0 and self.ctx.node_id is not None:
+                    return {
+                        p: ("from", self.ctx.node_id, "port", p)
+                        for p in self.ctx.ports()
+                    }
+                return {}
+
+            def process(self, round_index, inbox):
+                received[self.ctx.node_id] = dict(inbox)
+                self.halt(True)
+
+        g = path_graph(3)  # 0 - 1 - 2
+        run_synchronous(g, Tagger, anonymous=False)
+        # Vertex 1's neighbors sorted: (0, 2) -> ports 0, 1.
+        assert received[1][0][1] == 0  # from vertex 0 on port 0
+        assert received[1][1][1] == 2  # from vertex 2 on port 1
+        # Vertex 0 has one port, connected to 1.
+        assert received[0][0][1] == 1

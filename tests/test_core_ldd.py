@@ -1,0 +1,133 @@
+"""Tests for the Theorem 1.1 low-diameter decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LddParams, chang_li_ldd, low_diameter_decomposition
+from repro.core.ldd import LddTrace
+from repro.decomp.quality import run_ldd_trials, summarize_decomposition
+from repro.graphs import (
+    caterpillar,
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.metrics import validate_partition
+
+
+class TestPartitionValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_partition(self, seed):
+        g = grid_graph(8, 8)
+        d = low_diameter_decomposition(g, eps=0.3, seed=seed)
+        validate_partition(g, d.clusters, d.deleted)
+
+    def test_all_graph_families(self):
+        rng = np.random.default_rng(0)
+        graphs = [
+            cycle_graph(60),
+            grid_graph(7, 9),
+            random_tree(50, rng),
+            erdos_renyi_connected(40, 0.08, rng),
+            caterpillar(12, 3),
+        ]
+        for i, g in enumerate(graphs):
+            d = low_diameter_decomposition(g, eps=0.25, seed=i)
+            validate_partition(g, d.clusters, d.deleted)
+
+
+class TestGuarantees:
+    def test_unclustered_fraction_small_across_trials(self):
+        """The Theorem 1.1 guarantee at practical scale: the max
+        unclustered fraction over many seeds stays at most eps."""
+        eps = 0.3
+        g = cycle_graph(80)
+        series = run_ldd_trials(
+            g,
+            lambda s: low_diameter_decomposition(g, eps=eps, seed=s),
+            trials=20,
+        )
+        assert series.max_fraction <= eps
+        assert series.failure_rate(eps) == 0.0
+
+    def test_diameter_budget(self):
+        """Weak diameter O(t²R) (Lemma 3.2 bound: 2(t+2)R before the
+        refinement; we check the explicit formula)."""
+        eps = 0.3
+        ntilde = 100
+        params = LddParams.practical(eps, ntilde)
+        budget = 2 * (params.t + 2) * params.interval_length + math.ceil(
+            8 * math.log(ntilde) / params.phase3_lambda
+        )
+        g = cycle_graph(100)
+        for seed in range(5):
+            d = chang_li_ldd(g, params, seed=seed)
+            for cluster in d.clusters:
+                assert g.weak_diameter(cluster) <= budget
+
+    def test_rounds_ledger_structure(self):
+        g = grid_graph(6, 6)
+        params = LddParams.practical(0.3, 36)
+        d = chang_li_ldd(g, params, seed=1)
+        labels = d.ledger.by_label()
+        assert "estimate-nv" in labels
+        assert any(k.startswith("phase1-iter") for k in labels)
+        assert d.ledger.effective_rounds <= d.ledger.nominal_rounds
+
+    def test_trace_diagnostics(self):
+        g = cycle_graph(60)
+        params = LddParams.practical(0.3, 60)
+        trace = LddTrace()
+        chang_li_ldd(g, params, seed=2, trace=trace)
+        assert len(trace.centers_per_iteration) in (params.t, params.t + 1)
+        assert trace.residual_after_phase2 >= 0
+
+
+class TestWeightedVariant:
+    def test_weighted_deletions_respect_weight(self):
+        """With all the weight on a few vertices, the weighted LDD
+        avoids deleting them (Section 4 alternative-approach substrate)."""
+        g = cycle_graph(80)
+        heavy = {0, 20, 40, 60}
+        weights = [100.0 if v in heavy else 1.0 for v in range(g.n)]
+        eps = 0.3
+        params = LddParams.practical(eps, g.n)
+        total = sum(weights)
+        for seed in range(8):
+            d = chang_li_ldd(g, params, seed=seed, weights=weights)
+            deleted_weight = sum(weights[v] for v in d.deleted)
+            assert deleted_weight <= eps * total
+
+    def test_weights_validated(self):
+        g = cycle_graph(10)
+        params = LddParams.practical(0.3, 10)
+        with pytest.raises(ValueError):
+            chang_li_ldd(g, params, weights=[1.0] * 5)
+
+
+class TestAblation:
+    def test_skip_phase2_still_partitions(self):
+        """E12 ablation hook: skipping Phase 2 must stay *correct*
+        (partition validity) — only the w.h.p. tail degrades."""
+        g = grid_graph(7, 7)
+        params = LddParams.practical(0.3, 49)
+        d = chang_li_ldd(g, params, seed=3, skip_phase2=True)
+        validate_partition(g, d.clusters, d.deleted)
+
+
+class TestProfiles:
+    def test_paper_profile_constructible(self):
+        """Paper constants on a tiny graph: everything lands in one
+        cluster (radii exceed the diameter) but the run must be valid."""
+        g = path_graph(12)
+        d = low_diameter_decomposition(g, eps=0.4, seed=0, profile="paper")
+        validate_partition(g, d.clusters, d.deleted)
+        assert d.unclustered_fraction(g.n) <= 0.4
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            low_diameter_decomposition(cycle_graph(10), 0.3, profile="magic")

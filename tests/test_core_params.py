@@ -1,0 +1,136 @@
+"""Tests for the parameter profiles and interval layouts."""
+
+import math
+
+import pytest
+
+from repro.core import CoveringParams, LddParams, PackingParams
+
+
+class TestLddParams:
+    def test_paper_constants(self):
+        p = LddParams.paper(0.2, 1000)
+        assert p.t == math.ceil(math.log2(20 / 0.2))
+        assert p.interval_length == math.ceil(200 * p.t * math.log(1000) / 0.2)
+        assert p.phase3_lambda == pytest.approx(0.02)
+        assert p.estimate_radius == 4 * p.t * p.interval_length
+
+    def test_interval_layout_disjoint_descending(self):
+        """a_{i-1} >= b_i + 1: the disjointness Lemma 3.3 needs."""
+        p = LddParams.practical(0.2, 100)
+        intervals = p.intervals()
+        for i in range(1, len(intervals)):
+            a_prev, b_prev = intervals[i - 1]
+            a_cur, b_cur = intervals[i]
+            assert a_prev > b_cur  # consumed outside-in
+        # Phase 2 interval sits below all Phase-1 intervals.
+        a2, b2 = p.phase2_interval()
+        assert b2 < intervals[-1][0]
+        assert a2 == p.interval_length + 1
+
+    def test_interval_lengths(self):
+        p = LddParams.practical(0.3, 64)
+        for a, b in p.intervals():
+            assert b - a + 1 == p.interval_length
+
+    def test_sampling_probability_doubles(self):
+        p = LddParams.practical(0.2, 100)
+        p1 = p.sampling_probability(1, 1000)
+        p2 = p.sampling_probability(2, 1000)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_probability_caps_at_one(self):
+        p = LddParams.practical(0.2, 100)
+        assert p.sampling_probability(10, 1) == 1.0
+        assert p.phase2_probability(1) == 1.0
+
+    def test_nominal_rounds_scaling(self):
+        """Nominal rounds grow like log n and like 1/eps."""
+        r_small = LddParams.practical(0.2, 64).nominal_rounds()
+        r_big = LddParams.practical(0.2, 64**2).nominal_rounds()
+        assert 1.5 <= r_big / r_small <= 2.6  # doubling log n ~ doubles
+        e_loose = LddParams.practical(0.4, 256).nominal_rounds()
+        e_tight = LddParams.practical(0.1, 256).nominal_rounds()
+        assert e_tight > 2.0 * e_loose
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            LddParams.paper(0.0, 10)
+        with pytest.raises(ValueError):
+            LddParams.paper(1.0, 10)
+
+    def test_iteration_bounds_checked(self):
+        p = LddParams.practical(0.3, 64)
+        with pytest.raises(ValueError):
+            p.interval(0)
+        with pytest.raises(ValueError):
+            p.interval(p.t + 1)
+
+
+class TestPackingParams:
+    def test_paper_constants(self):
+        p = PackingParams.paper(0.2, 500)
+        assert p.prep_count == math.ceil(16 * math.log(500))
+        assert p.prep_lambda == 0.5
+        assert p.cluster_radius == 8 * p.t * p.base_length
+        assert p.r_prime == p.base_length + 1
+
+    def test_intervals_mod_three(self):
+        """Every interval start a_i ≡ 1 (mod 3) with length 3R'
+        (Algorithm 4 partitions it into [j, j+2] windows)."""
+        p = PackingParams.practical(0.25, 100)
+        for i in range(1, p.t + 1):
+            a, b = p.interval(i)
+            assert a % 3 == 1
+            assert (b - a + 1) % 3 == 0
+        a2, b2 = p.phase2_interval()
+        assert a2 % 3 == 1
+        assert (b2 - a2 + 1) % 3 == 0
+
+    def test_interval_disjointness(self):
+        p = PackingParams.practical(0.25, 100)
+        seq = [p.interval(i) for i in range(1, p.t + 1)] + [p.phase2_interval()]
+        for i in range(1, len(seq)):
+            assert seq[i - 1][0] > seq[i][1]
+
+    def test_zero_neighborhood_weight_gives_zero_probability(self):
+        p = PackingParams.practical(0.25, 100)
+        assert p.sampling_probability(1, 0.0, 0.0) == 0.0
+        assert p.phase2_probability(0.0, 0.0) == 0.0
+
+    def test_probability_monotone_in_ratio(self):
+        p = PackingParams.practical(0.25, 100)
+        assert p.sampling_probability(1, 4.0, 10.0) > p.sampling_probability(
+            1, 2.0, 10.0
+        )
+
+
+class TestCoveringParams:
+    def test_paper_t_includes_loglog(self):
+        p = CoveringParams.paper(0.2, 10_000)
+        expected = math.ceil(
+            math.log2(math.log(10_000)) + math.log2(1 / 0.2) + 8
+        )
+        assert p.t == expected
+
+    def test_lambda_conventions(self):
+        """λ_prep = ln(21/20) (multiplicity mean ≤ 1.05) and
+        λ_final = ln(1 + ε/5) (mean ≤ 1 + ε/5) — Lemma 5.5's constants."""
+        p = CoveringParams.paper(0.25, 100)
+        assert math.exp(-p.prep_lambda) == pytest.approx(20 / 21)
+        assert math.exp(p.final_lambda) == pytest.approx(1 + 0.25 / 5)
+
+    def test_interval_layout(self):
+        p = CoveringParams.practical(0.25, 100)
+        for i in range(1, p.t + 1):
+            a, b = p.interval(i)
+            assert b - a + 1 == 2 * p.base_length
+        seq = [p.interval(i) for i in range(1, p.t + 1)]
+        for i in range(1, len(seq)):
+            assert seq[i - 1][0] > seq[i][1]
+
+    def test_covering_t_larger_than_packing_t(self):
+        """The covering algorithm pays the extra log log n iterations
+        (it cannot tolerate Phase-2 bad vertices) — Theorem 1.3 vs 1.2."""
+        eps, n = 0.2, 10**6
+        assert CoveringParams.paper(eps, n).t > PackingParams.paper(eps, n).t

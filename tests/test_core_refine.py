@@ -1,0 +1,59 @@
+"""Tests for the Theorem 1.1 diameter-refinement step."""
+
+import math
+
+import pytest
+
+from repro.core import low_diameter_decomposition
+from repro.core.refine import (
+    ldd_with_ideal_diameter,
+    refine_decomposition,
+    refined_diameter_bound,
+)
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.graphs.metrics import validate_partition
+
+
+class TestRefine:
+    def test_bound_formula(self):
+        assert refined_diameter_bound(0.2, 100) == pytest.approx(
+            32 * math.log(100) / 0.2
+        )
+
+    def test_refined_partition_valid(self):
+        g = grid_graph(8, 8)
+        d = ldd_with_ideal_diameter(g, eps=0.3, seed=1)
+        validate_partition(g, d.clusters, d.deleted)
+
+    def test_diameter_within_ideal_bound(self):
+        eps = 0.3
+        g = cycle_graph(100)
+        for seed in range(4):
+            d = ldd_with_ideal_diameter(g, eps=eps, seed=seed)
+            bound = refined_diameter_bound(eps, 100)
+            for cluster in d.clusters:
+                assert g.weak_diameter(cluster) <= bound
+
+    def test_total_deletions_within_eps(self):
+        eps = 0.3
+        g = cycle_graph(100)
+        for seed in range(6):
+            d = ldd_with_ideal_diameter(g, eps=eps, seed=seed)
+            assert len(d.deleted) <= eps * g.n
+
+    def test_small_clusters_untouched(self):
+        """Clusters already within the bound pass through unchanged."""
+        g = path_graph(10)
+        base = low_diameter_decomposition(g, eps=0.4, seed=0)
+        refined = refine_decomposition(g, base, eps=0.4, seed=1)
+        assert refined.deleted == base.deleted
+        assert sorted(map(sorted, refined.clusters)) == sorted(
+            map(sorted, base.clusters)
+        )
+
+    def test_ledger_includes_base(self):
+        g = cycle_graph(40)
+        d = ldd_with_ideal_diameter(g, eps=0.3, seed=2)
+        assert d.ledger.nominal_rounds > 0
+        labels = d.ledger.by_label()
+        assert "refine-gather" in labels

@@ -1,0 +1,114 @@
+"""Tests for the Elkin–Neiman decomposition (Lemma C.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp import (
+    deletion_probability_bound,
+    elkin_neiman_ldd,
+    elkin_neiman_message_ldd,
+    sample_shifts,
+)
+from repro.decomp.quality import summarize_decomposition
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    path_graph,
+)
+from repro.graphs.metrics import validate_partition
+
+
+class TestBasics:
+    def test_partition_valid(self):
+        g = grid_graph(6, 6)
+        d = elkin_neiman_ldd(g, 0.4, seed=1)
+        validate_partition(g, d.clusters, d.deleted)
+
+    def test_cluster_strong_diameter(self):
+        """Lemma C.1: strong diameter at most 8 ln ñ / λ."""
+        lam = 0.5
+        ntilde = 64
+        bound = 8 * math.log(ntilde) / lam
+        g = grid_graph(8, 8)
+        for seed in range(5):
+            d = elkin_neiman_ldd(g, lam, ntilde=ntilde, seed=seed)
+            for cluster in d.clusters:
+                assert g.strong_diameter(cluster) <= bound
+
+    def test_rounds_ledger(self):
+        g = cycle_graph(30)
+        d = elkin_neiman_ldd(g, 0.5, ntilde=30, seed=2)
+        nominal = math.ceil(4 * math.log(30) / 0.5)
+        assert d.ledger.nominal_rounds == nominal
+        assert d.ledger.effective_rounds <= nominal
+
+    def test_within_subset(self):
+        g = path_graph(12)
+        subset = set(range(6))
+        d = elkin_neiman_ldd(g, 0.5, seed=3, within=subset)
+        covered = d.deleted | set().union(*d.clusters) if d.clusters else d.deleted
+        assert covered == subset
+
+    def test_deletion_probability_empirical(self):
+        """Per-vertex deletion probability <= 1 - e^{-λ} + ñ^{-3}."""
+        lam = 0.3
+        g = cycle_graph(40)
+        trials = 120
+        deletions = 0
+        for seed in range(trials):
+            d = elkin_neiman_ldd(g, lam, ntilde=40, seed=seed)
+            deletions += len(d.deleted)
+        per_vertex = deletions / (trials * g.n)
+        bound = deletion_probability_bound(lam, 40)
+        # Allow sampling slack above the analytic bound.
+        assert per_vertex <= bound + 0.05
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fast_equals_message_engine(self, seed):
+        """The fast shifted-flood execution and the synchronous
+        message-passing execution produce identical decompositions when
+        fed identical shifts — the LOCAL-fidelity property test."""
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi_connected(24, 0.12, rng)
+        shifts = sample_shifts(g.n, 0.4, 50, seed=seed)
+        fast = elkin_neiman_ldd(g, 0.4, ntilde=50, shifts=shifts)
+        slow = elkin_neiman_message_ldd(g, 0.4, ntilde=50, shifts=shifts, seed=0)
+        assert fast.deleted == slow.deleted
+        assert sorted(map(sorted, fast.clusters)) == sorted(
+            map(sorted, slow.clusters)
+        )
+
+    def test_message_engine_round_count(self):
+        g = cycle_graph(16)
+        shifts = [0.0] * 16
+        d = elkin_neiman_message_ldd(g, 0.5, ntilde=16, shifts=shifts, seed=0)
+        # All shifts zero: everyone is a singleton cluster (own record
+        # only; no propagation since 0 - 1 < -1 is false... tokens with
+        # value -1 do propagate one hop).
+        assert d.ledger.effective_rounds >= 1
+
+
+class TestDegenerateCases:
+    def test_all_zero_shifts_delete_nothing_on_isolated(self):
+        from repro.graphs import Graph
+
+        g = Graph(5, [])
+        d = elkin_neiman_ldd(g, 0.5, shifts=[0.0] * 5)
+        assert not d.deleted
+        assert len(d.clusters) == 5
+
+    def test_single_huge_shift_swallows_path(self):
+        g = path_graph(8)
+        shifts = [50.0] + [0.0] * 7
+        d = elkin_neiman_ldd(g, 0.1, ntilde=8, shifts=shifts)
+        assert not d.deleted
+        assert len(d.clusters) == 1
+        assert d.clusters[0] == set(range(8))

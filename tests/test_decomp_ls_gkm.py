@@ -1,0 +1,113 @@
+"""Tests for Linial–Saks network decomposition and the GKM17 baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomp import (
+    gkm_solve_covering,
+    gkm_solve_packing,
+    linial_saks_decomposition,
+    validate_network_decomposition,
+)
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    path_graph,
+)
+from repro.ilp import (
+    SolveCache,
+    max_independent_set_ilp,
+    max_matching_ilp,
+    min_dominating_set_ilp,
+    min_vertex_cover_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+
+
+class TestLinialSaks:
+    def test_valid_decomposition(self):
+        for seed in range(4):
+            g = erdos_renyi_connected(40, 0.08, np.random.default_rng(seed))
+            nd = linial_saks_decomposition(g, seed=seed)
+            validate_network_decomposition(g, nd)
+
+    def test_color_count_logarithmic(self):
+        g = grid_graph(8, 8)
+        colors = [
+            linial_saks_decomposition(g, seed=s).num_colors for s in range(6)
+        ]
+        # O(log n) colors: generous constant for n = 64.
+        assert max(colors) <= 6 * math.ceil(math.log2(64))
+
+    def test_cluster_diameter_bound(self):
+        g = grid_graph(8, 8)
+        cap = max(1, math.ceil(math.log2(64)))
+        nd = linial_saks_decomposition(g, seed=3)
+        assert nd.max_weak_diameter(g) <= 2 * cap
+
+    def test_radius_cap_respected(self):
+        g = path_graph(30)
+        nd = linial_saks_decomposition(g, seed=4, radius_cap=2)
+        assert nd.max_weak_diameter(g) <= 4
+
+    def test_ledger_charges_per_phase(self):
+        g = cycle_graph(20)
+        nd = linial_saks_decomposition(g, seed=5)
+        assert nd.ledger.nominal_rounds > 0
+        assert len(nd.ledger.charges) == nd.num_colors
+
+
+class TestGkmPacking:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mis_guarantee(self, seed):
+        g = erdos_renyi_connected(36, 0.1, np.random.default_rng(seed))
+        inst = max_independent_set_ilp(g)
+        eps = 0.3
+        result = gkm_solve_packing(inst, eps, seed=seed, scale=0.35)
+        opt = solve_packing_exact(inst).weight
+        assert inst.is_feasible(result.chosen)
+        assert inst.weight(result.chosen) >= (1 - eps) * opt - 1e-9
+
+    def test_matching_instance(self):
+        g = grid_graph(4, 5)
+        enc = max_matching_ilp(g)
+        eps = 0.3
+        result = gkm_solve_packing(enc.instance, eps, seed=7, scale=0.35)
+        opt = solve_packing_exact(enc.instance).weight
+        assert enc.instance.is_feasible(result.chosen)
+        assert enc.instance.weight(result.chosen) >= (1 - eps) * opt - 1e-9
+
+    def test_rounds_structure(self):
+        g = cycle_graph(40)
+        inst = max_independent_set_ilp(g)
+        result = gkm_solve_packing(inst, 0.3, seed=1, scale=0.35)
+        labels = result.ledger.by_label()
+        assert "gkm-network-decomposition" in labels
+        assert "gkm-carve-color" in labels
+        assert result.num_colors >= 1
+        assert result.k >= 2
+
+
+class TestGkmCovering:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mds_guarantee(self, seed):
+        g = erdos_renyi_connected(30, 0.12, np.random.default_rng(50 + seed))
+        inst = min_dominating_set_ilp(g)
+        eps = 0.4
+        cache = SolveCache()
+        result = gkm_solve_covering(inst, eps, seed=seed, scale=0.5, cache=cache)
+        opt = solve_covering_exact(inst, cache=cache).weight
+        assert inst.is_feasible(result.chosen)
+        assert inst.weight(result.chosen) <= (1 + eps) * opt + 1e-9
+
+    def test_mvc_on_cycle(self):
+        g = cycle_graph(30)
+        inst = min_vertex_cover_ilp(g)
+        result = gkm_solve_covering(inst, 0.4, seed=2, scale=0.5)
+        opt = solve_covering_exact(inst).weight
+        assert inst.is_feasible(result.chosen)
+        assert inst.weight(result.chosen) <= (1 + 0.4) * opt + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for the shared exponential-shift flooding machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomp.shifts import (
+    PROPAGATION_CUTOFF,
+    en_is_deleted,
+    rounds_for_flood,
+    sample_shifts,
+    shift_cap,
+    shifted_flood,
+    within_one_sources,
+)
+from repro.graphs import cycle_graph, path_graph, star_graph
+
+
+class TestSampling:
+    def test_cap_formula(self):
+        assert shift_cap(0.5, 100) == pytest.approx(4 * math.log(100) / 0.5)
+
+    def test_shifts_below_cap(self):
+        shifts = sample_shifts(200, 0.5, 50, seed=0)
+        cap = shift_cap(0.5, 50)
+        assert all(0 <= s < cap for s in shifts)
+
+    def test_reproducible(self):
+        assert sample_shifts(10, 0.3, 20, seed=7) == sample_shifts(
+            10, 0.3, 20, seed=7
+        )
+
+    def test_reset_behaviour(self):
+        """Resets happen with probability ñ^{-4} (= 1/16 at ñ = 2)."""
+        shifts = sample_shifts(3000, 2.0, 2, seed=1)
+        resets = sum(1 for s in shifts if s == 0.0)
+        # Exp(2) has P(X = 0) = 0, so zeros are exactly the resets;
+        # expect ~3000/16 ≈ 188 of them.
+        assert 90 < resets < 320
+
+
+class TestFloodSemantics:
+    def test_own_record_always_present(self):
+        g = path_graph(5)
+        records = shifted_flood(g, [0.0] * 5)
+        for v in range(5):
+            assert any(r.source == v and r.dist == 0 for r in records[v])
+
+    def test_values_are_shift_minus_distance(self):
+        g = path_graph(4)
+        shifts = [3.5, 0.0, 0.0, 0.0]
+        records = shifted_flood(g, shifts)
+        by_source = {r.source: r for r in records[3]}
+        assert by_source[0].value == pytest.approx(0.5)
+        assert by_source[0].dist == 3
+
+    def test_cutoff(self):
+        g = path_graph(6)
+        shifts = [2.5, 0, 0, 0, 0, 0]
+        records = shifted_flood(g, shifts)
+        # value at distance d is 2.5 - d; cutoff -1 => d <= 3.
+        assert any(r.source == 0 for r in records[3])
+        assert not any(r.source == 0 for r in records[4])
+
+    def test_records_sorted_descending(self):
+        g = cycle_graph(8)
+        shifts = list(np.random.default_rng(3).exponential(2.0, size=8))
+        records = shifted_flood(g, shifts)
+        for recs in records:
+            keys = [r.key() for r in recs]
+            assert keys == sorted(keys, reverse=True)
+
+    def test_keep2_matches_full_flood_decisions(self):
+        """Top-2 pruning must not change EN decisions (soundness of the
+        suppression argument)."""
+        rng = np.random.default_rng(11)
+        for trial in range(10):
+            g = cycle_graph(12)
+            shifts = list(rng.exponential(1.5, size=12))
+            full = shifted_flood(g, shifts, keep=None)
+            pruned = shifted_flood(g, shifts, keep=2)
+            for v in range(12):
+                assert en_is_deleted(full[v]) == en_is_deleted(pruned[v])
+                assert full[v][0].key() == pruned[v][0].key()
+
+    def test_keep1_matches_argmax(self):
+        rng = np.random.default_rng(13)
+        g = cycle_graph(10)
+        shifts = list(rng.exponential(1.0, size=10))
+        full = shifted_flood(g, shifts, keep=None)
+        top1 = shifted_flood(g, shifts, keep=1)
+        for v in range(10):
+            assert top1[v][0].key() == full[v][0].key()
+
+    def test_within_restriction(self):
+        g = path_graph(6)
+        shifts = [5.0, 0, 0, 0, 0, 5.0]
+        records = shifted_flood(g, shifts, within={0, 1, 2})
+        assert not records[5]  # outside the residual set
+        assert not any(r.source == 5 for r in records[2])
+
+
+class TestDecisionRules:
+    def test_en_deletion_rule(self):
+        from repro.decomp.shifts import ShiftRecord
+
+        close = [
+            ShiftRecord(5.0, 3, 0),
+            ShiftRecord(4.5, 2, 1),
+        ]
+        assert en_is_deleted(close)
+        far = [
+            ShiftRecord(5.0, 3, 0),
+            ShiftRecord(2.0, 2, 1),
+        ]
+        assert not en_is_deleted(far)
+        assert not en_is_deleted(far[:1])
+
+    def test_within_one(self):
+        from repro.decomp.shifts import ShiftRecord
+
+        records = [
+            ShiftRecord(5.0, 3, 0),
+            ShiftRecord(4.2, 2, 1),
+            ShiftRecord(3.0, 1, 2),
+        ]
+        sources = [r.source for r in within_one_sources(records)]
+        assert sources == [3, 2]
+
+    def test_rounds_for_flood(self):
+        assert rounds_for_flood([2.7, 0.3]) == 3
+        assert rounds_for_flood([]) == 0

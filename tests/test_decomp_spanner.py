@@ -1,0 +1,113 @@
+"""Tests for the exponential-shift spanner ([EN18] application)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomp.spanner import (
+    shift_spanner,
+    spanner_lambda,
+    verify_stretch,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    random_regular,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stretch_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi_connected(40, 0.12, rng)
+        k = 3
+        result = shift_spanner(g, k, seed=seed)
+        assert verify_stretch(g, result.edges, 2 * k - 1) == []
+
+    def test_stretch_on_dense_graph(self):
+        g = complete_graph(24)
+        k = 3
+        for seed in range(4):
+            result = shift_spanner(g, k, seed=seed)
+            assert verify_stretch(g, result.edges, 2 * k - 1) == []
+
+    def test_spanner_edges_subset_of_graph(self):
+        g = grid_graph(6, 6)
+        result = shift_spanner(g, 3, seed=1)
+        for u, v in result.edges:
+            assert g.has_edge(u, v)
+
+    def test_sparse_graph_kept_whole(self):
+        # A cycle has no shortcuts; any valid spanner with stretch < n-1
+        # must keep every edge... except when stretch budget allows the
+        # long way around.  For a large cycle the spanner keeps ~all.
+        g = cycle_graph(40)
+        result = shift_spanner(g, 3, seed=2)
+        assert result.size >= g.m - 0  # no edge can be dropped
+        assert verify_stretch(g, result.edges, 5) == []
+
+    def test_density_reduction_on_dense_graphs(self):
+        """Larger stretch budgets buy sparser spanners: at k = 6 the
+        clique spanner drops well below the input size.  (At small k
+        the truncated-shift window covers most of the range, so the
+        asymptotic n^{1+1/k} density only emerges at large n — see
+        bench E14 for the reported series.)"""
+        g = complete_graph(40)  # m = 780
+        sizes = [shift_spanner(g, 6, seed=s).size for s in range(5)]
+        assert max(sizes) < 0.75 * g.m
+
+    def test_size_decreases_with_stretch_budget(self):
+        """The stretch/size trade-off is monotone on average."""
+        g = complete_graph(36)
+        mean_size = {}
+        for k in (2, 4, 8):
+            sizes = [shift_spanner(g, k, seed=s).size for s in range(8)]
+            mean_size[k] = sum(sizes) / len(sizes)
+        assert mean_size[8] < mean_size[2]
+
+    def test_size_tracks_multiplicities(self):
+        g = grid_graph(5, 5)
+        result = shift_spanner(g, 4, seed=3)
+        assert result.size <= sum(result.multiplicities)
+
+    def test_lambda_formula(self):
+        assert spanner_lambda(5, 100) == pytest.approx(math.log(100) / 10)
+        with pytest.raises(ValueError):
+            spanner_lambda(1, 100)
+
+    def test_injected_shifts_reproducible(self):
+        g = grid_graph(4, 4)
+        shifts = [0.5] * g.n
+        a = shift_spanner(g, 3, shifts=shifts)
+        b = shift_spanner(g, 3, shifts=shifts)
+        assert a.edges == b.edges
+
+    def test_shift_cap_validated(self):
+        g = cycle_graph(6)
+        with pytest.raises(ValueError, match="cap"):
+            shift_spanner(g, 3, shifts=[10.0] * 6)
+
+
+class TestExpectedSizeShape:
+    def test_sparse_inputs_stay_within_bound(self):
+        """On bounded-degree inputs the spanner trivially respects the
+        n^{1+1/k} + n envelope (it is a subgraph); the test pins the
+        bookkeeping, the asymptotic density story lives in bench E14."""
+        rng = np.random.default_rng(7)
+        g = random_regular(60, 6, rng)
+        k = 4
+        sizes = [shift_spanner(g, k, seed=s).size for s in range(6)]
+        result = shift_spanner(g, k, seed=0)
+        assert max(sizes) <= g.m
+        assert g.m <= result.size_bound(g.n)
+
+    def test_stretch_on_higher_degree_regular(self):
+        rng = np.random.default_rng(8)
+        g = random_regular(48, 6, rng)
+        for seed in range(3):
+            result = shift_spanner(g, 4, seed=seed)
+            assert verify_stretch(g, result.edges, 7) == []

@@ -1,0 +1,69 @@
+"""Tests for the Appendix C adversarial families."""
+
+import numpy as np
+
+from repro.graphs import (
+    clique_family,
+    en_failure_event,
+    mpx_bad_family,
+    mpx_failure_event,
+)
+
+
+class TestCliqueFamily:
+    def test_is_clique(self):
+        g = clique_family(8)
+        assert g.m == 8 * 7 // 2
+        assert g.diameter() == 1
+
+    def test_with_tail(self):
+        g = clique_family(8, tail=10)
+        assert g.n == 18
+        assert g.diameter() >= 10
+
+    def test_failure_event_fires_on_close_top_two(self):
+        g = clique_family(5)
+        assert en_failure_event(g, [5.0, 4.5, 1.0, 0.5, 0.2])
+        assert not en_failure_event(g, [5.0, 3.0, 1.0, 0.5, 0.2])
+
+    def test_failure_event_probability_scale(self):
+        """P[T_(1) <= T_(2) + 1] = 1 - e^{-lam} by memorylessness."""
+        rng = np.random.default_rng(0)
+        lam = 0.3
+        g = clique_family(30)
+        hits = 0
+        trials = 3000
+        for _ in range(trials):
+            shifts = list(rng.exponential(1.0 / lam, size=g.n))
+            hits += en_failure_event(g, shifts)
+        expected = 1.0 - np.exp(-lam)
+        assert abs(hits / trials - expected) < 0.03
+
+
+class TestMpxBadFamily:
+    def test_structure(self):
+        bad = mpx_bad_family(5)
+        g = bad.graph
+        assert g.n == 4 * 5 + 2
+        assert g.m == 25 + 20
+        assert len(bad.bipartite_edges) == 25
+        # u adjacent to S_L and L, each of size t.
+        assert g.degree(bad.u) == 10
+        assert g.degree(bad.v) == 10
+
+    def test_event_detector(self):
+        bad = mpx_bad_family(3)
+        shifts = [0.0] * bad.graph.n
+        shifts[bad.s_left[0]] = 10.2   # top, in S_L
+        shifts[bad.s_right[0]] = 10.0  # second, in S_R, gap < 1
+        # everything else 0: T2 > T3 + 2 holds (10 > 2).
+        assert mpx_failure_event(bad, shifts)
+        shifts[bad.s_left[0]] = 20.0  # gap > 1 now
+        assert not mpx_failure_event(bad, shifts)
+
+    def test_event_requires_correct_location(self):
+        bad = mpx_bad_family(3)
+        shifts = [0.0] * bad.graph.n
+        shifts[bad.left[0]] = 10.2   # top in L, not S_L
+        shifts[bad.s_right[0]] = 10.0
+        assert not mpx_failure_event(bad, shifts)

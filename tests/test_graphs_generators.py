@@ -1,0 +1,121 @@
+"""Tests for the seeded graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    balanced_tree,
+    caterpillar,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    erdos_renyi_connected,
+    grid_graph,
+    hub_and_spokes,
+    path_graph,
+    random_bipartite_regular,
+    random_regular,
+    random_tree,
+    standard_families,
+    star_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.m == 5
+        assert g.diameter() == 5
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert g.is_regular()
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert g.diameter() == 1
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.m == 6
+        assert g.degree(0) == 6
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.m == 12
+        assert g.is_bipartite()
+
+    def test_grid(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5
+        assert g.is_bipartite()
+
+    def test_torus_regular(self):
+        g = grid_graph(4, 4, torus=True)
+        assert g.is_regular()
+        assert g.degree(0) == 4
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.m == 14
+
+    def test_caterpillar(self):
+        g = caterpillar(4, 2)
+        assert g.n == 4 + 8
+        assert g.m == 3 + 8
+
+    def test_hub_and_spokes(self):
+        g = hub_and_spokes(3, 4)
+        assert g.n == 3 + 12
+        assert g.degree(0) == 5  # one hub link + four spokes
+
+
+class TestRandomFamilies:
+    def test_random_tree(self):
+        g = random_tree(25, np.random.default_rng(1))
+        assert g.m == 24
+        assert len(g.connected_components()) == 1
+
+    def test_erdos_renyi_edge_count_reasonable(self):
+        rng = np.random.default_rng(2)
+        g = erdos_renyi(50, 0.1, rng)
+        expected = 0.1 * 50 * 49 / 2
+        assert 0.4 * expected < g.m < 1.8 * expected
+
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi_connected(40, 0.05, np.random.default_rng(3))
+        assert len(g.connected_components()) == 1
+
+    def test_random_regular(self):
+        g = random_regular(30, 3, np.random.default_rng(4))
+        assert g.is_regular()
+        assert g.degree(0) == 3
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3, np.random.default_rng(5))
+
+    def test_random_bipartite_regular(self):
+        g = random_bipartite_regular(10, 3, np.random.default_rng(6))
+        assert g.is_bipartite()
+        assert g.is_regular()
+        assert g.n == 20
+
+    def test_seed_reproducibility(self):
+        a = erdos_renyi(30, 0.2, np.random.default_rng(7))
+        b = erdos_renyi(30, 0.2, np.random.default_rng(7))
+        assert a == b
+
+    def test_standard_families(self):
+        fams = standard_families(36, np.random.default_rng(8))
+        names = [name for name, _ in fams]
+        assert names == ["random-3-regular", "erdos-renyi", "grid", "random-tree"]
+        for _, g in fams:
+            assert g.n >= 30

@@ -1,0 +1,149 @@
+"""Tests for the LPS Ramanujan construction and number theory helpers."""
+
+import math
+
+import pytest
+
+from repro.graphs.numbertheory import (
+    is_prime,
+    legendre_symbol,
+    lps_quadruples,
+    primes_in_progression,
+    sqrt_mod,
+)
+from repro.graphs.ramanujan import (
+    find_lps_q,
+    girth_vertex_transitive,
+    lps_generators,
+    lps_graph,
+)
+from repro.graphs.highgirth import (
+    bipartite_double_cover,
+    heawood_graph,
+    mcgee_graph,
+    pappus_graph,
+    petersen_graph,
+)
+
+
+class TestNumberTheory:
+    def test_is_prime_small(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+        for n in range(1, 31):
+            assert is_prime(n) == (n in primes)
+
+    def test_is_prime_larger(self):
+        assert is_prime(104729)  # 10000th prime
+        assert not is_prime(104729 * 104723)
+
+    def test_primes_in_progression(self):
+        gen = primes_in_progression(1, 4, start=5)
+        first = [next(gen) for _ in range(5)]
+        assert first == [5, 13, 17, 29, 37]
+        for p in first:
+            assert p % 4 == 1
+
+    def test_legendre(self):
+        # squares mod 17: {1,2,4,8,9,13,15,16}
+        qr = {1, 2, 4, 8, 9, 13, 15, 16}
+        for a in range(1, 17):
+            assert legendre_symbol(a, 17) == (1 if a in qr else -1)
+        assert legendre_symbol(17, 17) == 0
+
+    def test_sqrt_mod(self):
+        for p in (13, 17, 29, 101):
+            for a in range(1, p):
+                if legendre_symbol(a, p) == 1:
+                    r = sqrt_mod(a, p)
+                    assert r * r % p == a
+        with pytest.raises(ValueError):
+            sqrt_mod(3, 5)  # 3 is not a QR mod 5
+
+    def test_lps_quadruples_count(self):
+        """Jacobi: exactly p + 1 admissible quadruples."""
+        for p in (5, 13, 17, 29):
+            quads = lps_quadruples(p)
+            assert len(quads) == p + 1
+            for a, b, c, d in quads:
+                assert a % 2 == 1 and a > 0
+                assert b % 2 == 0 and c % 2 == 0 and d % 2 == 0
+                assert a * a + b * b + c * c + d * d == p
+
+
+class TestLpsGraphs:
+    def test_generators_count(self):
+        gens = lps_generators(17, 13)
+        assert len(set(gens)) == 18
+
+    def test_x_17_13_nonbipartite(self):
+        g = lps_graph(17, 13)
+        assert g.n == 13 * (13**2 - 1) // 2  # PSL(2,13) order
+        assert g.degree == 18
+        assert not g.bipartite
+        assert not g.graph.is_bipartite()
+        assert g.graph.is_regular()
+        assert g.graph.max_degree() == 18
+        assert g.independence_upper_bound() < 0.92 * g.n / 2 + 1
+
+    def test_x_5_13_bipartite(self):
+        g = lps_graph(5, 13)
+        assert g.bipartite
+        assert g.graph.is_bipartite()
+        assert g.n == 13 * (13**2 - 1)  # PGL(2,13) order
+        assert g.graph.max_degree() == 6
+        girth = girth_vertex_transitive(g.graph)
+        assert girth >= g.girth_lower_bound
+        assert girth >= 6
+
+    def test_x_5_29_nonbipartite_girth(self):
+        g = lps_graph(5, 29)
+        assert not g.bipartite
+        assert g.n == 29 * (29**2 - 1) // 2
+        assert girth_vertex_transitive(g.graph) >= 5
+
+    def test_find_lps_q(self):
+        bip = list(find_lps_q(17, bipartite=True, limit=60))
+        non = list(find_lps_q(17, bipartite=False, limit=60))
+        assert 29 in bip and 37 in bip
+        assert 13 in non and 53 in non
+        assert not (set(bip) & set(non))
+
+    def test_girth_vertex_transitive_matches_bruteforce(self):
+        for g in (petersen_graph(), heawood_graph(), mcgee_graph()):
+            assert girth_vertex_transitive(g) == g.girth()
+
+
+class TestCagesAndCovers:
+    def test_petersen(self):
+        g = petersen_graph()
+        assert g.n == 10 and g.is_regular() and g.girth() == 5
+        assert not g.is_bipartite()
+
+    def test_heawood(self):
+        g = heawood_graph()
+        assert g.n == 14 and g.is_regular() and g.girth() == 6
+        assert g.is_bipartite()
+
+    def test_pappus(self):
+        g = pappus_graph()
+        assert g.n == 18 and g.is_regular() and g.girth() == 6
+        assert g.is_bipartite()
+
+    def test_mcgee(self):
+        g = mcgee_graph()
+        assert g.n == 24 and g.is_regular() and g.girth() == 7
+        assert not g.is_bipartite()
+
+    def test_double_cover_properties(self):
+        base = mcgee_graph()
+        cover = bipartite_double_cover(base)
+        assert cover.n == 2 * base.n
+        assert cover.is_bipartite()
+        assert cover.is_regular()
+        assert cover.max_degree() == base.max_degree()
+        # The cover's girth is at least the base's (local views match).
+        assert cover.girth() >= base.girth()
+
+    def test_double_cover_of_bipartite_disconnects(self):
+        cover = bipartite_double_cover(heawood_graph())
+        assert len(cover.connected_components()) == 2

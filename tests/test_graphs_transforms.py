@@ -1,0 +1,120 @@
+"""Tests for the reduction transforms (Theorems B.3, B.5, B.7)."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    attach_path,
+    complete_graph,
+    cycle_graph,
+    dominating_gadget,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    subdivide,
+)
+from repro.graphs.metrics import cut_size, is_independent_set, is_vertex_cover
+from repro.ilp import (
+    max_independent_set_ilp,
+    min_dominating_set_ilp,
+    min_vertex_cover_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+
+
+class TestSubdivision:
+    def test_identity_at_x0(self):
+        g = cycle_graph(5)
+        s = subdivide(g, 0)
+        assert s.graph == g
+
+    def test_sizes(self):
+        g = cycle_graph(5)
+        s = subdivide(g, 2)
+        assert s.graph.n == 5 + 5 * 4
+        assert s.graph.m == 5 * 5  # each edge -> path of length 2x+1
+
+    def test_bipartiteness_of_subdivision(self):
+        # Subdividing into odd-length paths preserves the MIS structure;
+        # for a bipartite base the result stays bipartite.
+        s = subdivide(grid_graph(3, 3), 1)
+        assert s.graph.is_bipartite()
+
+    def test_independence_number_formula(self):
+        """alpha(G_x) = alpha(G) + x·m for any graph G (Theorem B.3's
+        size bookkeeping on the 18-regular bipartite case)."""
+        for base in (cycle_graph(6), petersen_graph(), grid_graph(3, 3)):
+            alpha = solve_packing_exact(max_independent_set_ilp(base)).weight
+            for x in (1, 2):
+                s = subdivide(base, x)
+                alpha_x = solve_packing_exact(
+                    max_independent_set_ilp(s.graph)
+                ).weight
+                assert alpha_x == alpha + x * base.m
+
+    def test_project_independent_set(self):
+        base = cycle_graph(6)
+        s = subdivide(base, 1)
+        big = solve_packing_exact(max_independent_set_ilp(s.graph)).chosen
+        projected = s.project_independent_set(set(big))
+        assert is_independent_set(base, projected)
+
+    def test_project_cut_parity(self):
+        base = complete_graph(4)
+        s = subdivide(base, 1)
+        # Build a cut of the subdivided graph from a bipartition of it.
+        side = {v for v in range(s.graph.n) if v % 2 == 0}
+        cut_edges = {
+            (u, v) for u, v in s.graph.edges() if (u in side) != (v in side)
+        }
+        base_cut = s.project_cut(cut_edges)
+        # The projected edge set is a valid cut of the base graph: it
+        # must be consistent with a vertex bipartition (parity of path
+        # counts is exactly endpoint side parity).
+        for u, v in base_cut:
+            assert base.has_edge(u, v)
+
+    def test_path_edges(self):
+        s = subdivide(path_graph(2), 2)
+        e = (0, 1)
+        assert len(s.path_edges(e)) == 5
+
+
+class TestDominatingGadget:
+    def test_sizes(self):
+        g = cycle_graph(5)
+        d = dominating_gadget(g)
+        assert d.graph.n == g.n + g.m
+        assert d.graph.m == g.m * 3
+
+    def test_gamma_equals_tau(self):
+        """Theorem B.5: gamma(G*) = tau(G)."""
+        for base in (cycle_graph(5), petersen_graph(), grid_graph(3, 3)):
+            tau = solve_covering_exact(min_vertex_cover_ilp(base)).weight
+            gadget = dominating_gadget(base)
+            gamma = solve_covering_exact(
+                min_dominating_set_ilp(gadget.graph)
+            ).weight
+            assert gamma == tau
+
+    def test_projection_gives_cover(self):
+        base = petersen_graph()
+        gadget = dominating_gadget(base)
+        dom = set(
+            solve_covering_exact(min_dominating_set_ilp(gadget.graph)).chosen
+        )
+        cover = gadget.project_dominating_set(dom)
+        assert is_vertex_cover(base, cover)
+        assert len(cover) <= len(dom)
+
+
+class TestAttachPath:
+    def test_attach(self):
+        g = attach_path(complete_graph(4), 5)
+        assert g.n == 9
+        assert g.diameter() >= 5
+
+    def test_zero_length(self):
+        g = complete_graph(3)
+        assert attach_path(g, 0) == g

@@ -1,0 +1,139 @@
+"""Tests for greedy baselines, LP relaxations and verification."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi_connected,
+    grid_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.metrics import (
+    is_dominating_set,
+    is_independent_set,
+    is_matching,
+    is_vertex_cover,
+)
+from repro.ilp import (
+    assert_covering_guarantee,
+    assert_packing_guarantee,
+    greedy_covering,
+    greedy_dominating_set,
+    greedy_maximal_matching,
+    greedy_mis,
+    greedy_packing,
+    lp_relaxation_value,
+    matching_vertex_cover,
+    max_independent_set_ilp,
+    min_dominating_set_ilp,
+    min_vertex_cover_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+    verify_covering,
+    verify_packing,
+)
+
+
+class TestGreedy:
+    def test_greedy_packing_feasible_and_maximal(self):
+        g = erdos_renyi_connected(25, 0.15, np.random.default_rng(0))
+        inst = max_independent_set_ilp(g)
+        chosen = greedy_packing(inst)
+        assert inst.is_feasible(chosen)
+        # maximal: no vertex can be added
+        for v in range(g.n):
+            if v not in chosen:
+                assert not inst.is_feasible(chosen | {v})
+
+    def test_greedy_mis_is_independent(self):
+        g = erdos_renyi_connected(25, 0.15, np.random.default_rng(1))
+        assert is_independent_set(g, greedy_mis(g))
+
+    def test_greedy_mis_on_star_prefers_leaves(self):
+        assert len(greedy_mis(star_graph(8))) == 7
+
+    def test_greedy_covering_feasible(self):
+        g = erdos_renyi_connected(25, 0.15, np.random.default_rng(2))
+        inst = min_dominating_set_ilp(g)
+        chosen = greedy_covering(inst)
+        assert inst.is_feasible(chosen)
+
+    def test_greedy_dominating_set(self):
+        g = grid_graph(5, 5)
+        dom = greedy_dominating_set(g)
+        assert is_dominating_set(g, dom)
+
+    def test_matching_vertex_cover_factor_two(self):
+        g = petersen_graph()
+        cover = matching_vertex_cover(g)
+        assert is_vertex_cover(g, cover)
+        opt = solve_covering_exact(min_vertex_cover_ilp(g)).weight
+        assert len(cover) <= 2 * opt
+
+    def test_greedy_maximal_matching(self):
+        g = cycle_graph(9)
+        matching = greedy_maximal_matching(g)
+        assert is_matching(g, matching)
+        assert len(matching) >= 3  # maximal matching >= max/2
+
+
+class TestLp:
+    def test_packing_lp_upper_bounds_ilp(self):
+        g = erdos_renyi_connected(18, 0.2, np.random.default_rng(3))
+        inst = max_independent_set_ilp(g)
+        assert lp_relaxation_value(inst) >= solve_packing_exact(inst).weight - 1e-6
+
+    def test_covering_lp_lower_bounds_ilp(self):
+        g = erdos_renyi_connected(18, 0.2, np.random.default_rng(4))
+        inst = min_dominating_set_ilp(g)
+        assert lp_relaxation_value(inst) <= solve_covering_exact(inst).weight + 1e-6
+
+    def test_mis_lp_on_cycle_is_half(self):
+        # Odd cycle LP optimum is n/2 (all x = 1/2).
+        inst = max_independent_set_ilp(cycle_graph(9))
+        assert lp_relaxation_value(inst) == pytest.approx(4.5)
+
+
+class TestVerify:
+    def test_verify_packing_exact_reference(self):
+        g = cycle_graph(8)
+        inst = max_independent_set_ilp(g)
+        v = verify_packing(inst, {0, 2, 4, 6})
+        assert v.feasible
+        assert v.reference_kind == "exact"
+        assert v.ratio == pytest.approx(1.0)
+
+    def test_verify_packing_infeasible(self):
+        g = cycle_graph(8)
+        inst = max_independent_set_ilp(g)
+        assert not verify_packing(inst, {0, 1}).feasible
+
+    def test_verify_covering(self):
+        g = star_graph(5)
+        inst = min_dominating_set_ilp(g)
+        v = verify_covering(inst, {0})
+        assert v.feasible
+        assert v.ratio == pytest.approx(1.0)
+
+    def test_assert_packing_guarantee(self):
+        g = cycle_graph(10)
+        inst = max_independent_set_ilp(g)
+        assert_packing_guarantee(inst, {0, 2, 4, 6}, eps=0.25)  # 4 >= 0.75*5
+        with pytest.raises(AssertionError):
+            assert_packing_guarantee(inst, {0, 4}, eps=0.25)
+
+    def test_assert_covering_guarantee(self):
+        g = star_graph(6)
+        inst = min_dominating_set_ilp(g)
+        assert_covering_guarantee(inst, {0}, eps=0.3)
+        with pytest.raises(AssertionError):
+            assert_covering_guarantee(inst, {0, 1, 2}, eps=0.3)
+
+    def test_lp_reference_on_large_instance(self):
+        g = erdos_renyi_connected(50, 0.08, np.random.default_rng(5))
+        inst = max_independent_set_ilp(g)
+        v = verify_packing(inst, greedy_mis(g), exact_limit=10)
+        assert v.reference_kind == "lp-bound"
+        assert v.ratio <= 1.0 + 1e-9

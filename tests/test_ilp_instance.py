@@ -1,0 +1,175 @@
+"""Tests for ILP instances and the Section 2 restriction semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import erdos_renyi_connected
+from repro.ilp import (
+    Constraint,
+    CoveringInstance,
+    PackingInstance,
+    max_independent_set_ilp,
+    min_dominating_set_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+
+
+class TestConstraint:
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint({0: 0.0}, 1.0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint({0: 1.0}, -1.0)
+
+    def test_value(self):
+        c = Constraint({0: 2.0, 1: 3.0}, 4.0)
+        assert c.value({0}) == 2.0
+        assert c.value({0, 1}) == 5.0
+
+    def test_restrict_drops_outside(self):
+        c = Constraint({0: 2.0, 1: 3.0}, 4.0)
+        r = c.restrict({0})
+        assert r.coefficients == {0: 2.0}
+        assert r.bound == 4.0
+
+    def test_reduce_by_fixed(self):
+        c = Constraint({0: 2.0, 1: 3.0}, 4.0)
+        r = c.reduce_by_fixed({0})
+        assert r.coefficients == {1: 3.0}
+        assert r.bound == 2.0
+        r2 = c.reduce_by_fixed({0, 1})
+        assert r2.bound == 0.0
+
+
+class TestPackingInstance:
+    def test_feasibility(self):
+        inst = PackingInstance(
+            [1, 1, 1], [Constraint({0: 1.0, 1: 1.0}, 1.0)]
+        )
+        assert inst.is_feasible({0, 2})
+        assert not inst.is_feasible({0, 1})
+        assert inst.violated_constraints({0, 1}) == [0]
+
+    def test_weights(self):
+        inst = PackingInstance([2, 3, 5], [])
+        assert inst.weight({0, 2}) == 7
+        assert inst.weight_on({0, 1, 2}, {1}) == 3
+        assert inst.total_weight() == 10
+
+    def test_hypergraph(self):
+        inst = PackingInstance(
+            [1, 1, 1], [Constraint({0: 1.0, 1: 1.0}, 1.0)]
+        )
+        h = inst.hypergraph()
+        assert h.n == 3
+        assert h.m == 1
+        assert h.edge(0) == frozenset({0, 1})
+
+    def test_restriction_never_infeasible(self):
+        """Observation 2.1: the local packing instance keeps all
+        constraints but can always be satisfied (outside vars = 0)."""
+        inst = PackingInstance(
+            [1, 1], [Constraint({0: 1.0, 1: 1.0}, 1.0)]
+        )
+        sub = inst.restrict({0})
+        assert sub.is_feasible({0})
+        assert sub.weights[1] == 0.0
+
+    def test_feasible_alone(self):
+        inst = PackingInstance(
+            [1, 1], [Constraint({0: 3.0, 1: 1.0}, 2.0)]
+        )
+        assert not inst.feasible_alone(0)
+        assert inst.feasible_alone(1)
+
+
+class TestCoveringInstance:
+    def test_feasibility(self):
+        inst = CoveringInstance(
+            [1, 1], [Constraint({0: 1.0, 1: 1.0}, 1.0)]
+        )
+        assert inst.is_feasible({0})
+        assert not inst.is_feasible(set())
+
+    def test_restriction_drops_crossing_constraints(self):
+        """Observation 2.2: only constraints inside S are kept."""
+        inst = CoveringInstance(
+            [1, 1, 1],
+            [
+                Constraint({0: 1.0, 1: 1.0}, 1.0),
+                Constraint({1: 1.0, 2: 1.0}, 1.0),
+            ],
+        )
+        sub = inst.restrict({0, 1})
+        assert sub.m == 1
+        assert sub.constraints[0].support == frozenset({0, 1})
+
+    def test_restriction_with_fixed_ones(self):
+        inst = CoveringInstance(
+            [1, 1, 1],
+            [Constraint({0: 1.0, 1: 1.0, 2: 1.0}, 2.0)],
+        )
+        sub = inst.restrict({1, 2}, fixed_ones={0})
+        assert sub.m == 1
+        assert sub.constraints[0].bound == 1.0
+        satisfied = inst.restrict({1, 2}, fixed_ones={0, 1})
+        assert satisfied.m == 0  # bound reached, constraint dropped
+
+    def test_restrict_to_edges(self):
+        inst = CoveringInstance(
+            [1, 1, 1],
+            [
+                Constraint({0: 1.0}, 1.0),
+                Constraint({1: 1.0, 2: 1.0}, 1.0),
+            ],
+        )
+        sub = inst.restrict_to_edges([1])
+        assert sub.m == 1
+        assert sub.constraints[0].support == frozenset({1, 2})
+
+    def test_is_satisfiable(self):
+        sat = CoveringInstance([1], [Constraint({0: 1.0}, 1.0)])
+        assert sat.is_satisfiable()
+        unsat = CoveringInstance([1], [Constraint({0: 1.0}, 2.0)])
+        assert not unsat.is_satisfiable()
+
+
+class TestObservationInequalities:
+    """Property tests of Observations 2.1 and 2.2 on random instances."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_observation_2_1(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi_connected(12, 0.25, rng)
+        inst = max_independent_set_ilp(g)
+        optimum = solve_packing_exact(inst)
+        subset = {int(v) for v in rng.choice(12, size=6, replace=False)}
+        closed = set(subset)
+        for v in subset:
+            closed.update(g.neighbors(v))
+        w_star_s = inst.weight_on(optimum.chosen, subset)
+        local = solve_packing_exact(inst, subset=subset)
+        w_star_n1s = inst.weight_on(optimum.chosen, closed)
+        # W(P*, S) <= W(P_local_S, S) <= W(P*, N^1(S))
+        assert w_star_s <= local.weight + 1e-9
+        assert local.weight <= w_star_n1s + 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_observation_2_2(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi_connected(12, 0.25, rng)
+        inst = min_dominating_set_ilp(g)
+        optimum = solve_covering_exact(inst)
+        subset = {int(v) for v in rng.choice(12, size=8, replace=False)}
+        local = solve_covering_exact(inst, subset=subset)
+        w_star_s = inst.weight_on(optimum.chosen, subset)
+        # W(Q_local_S, S) <= W(Q*, S) <= W(Q*, V)
+        assert local.weight <= w_star_s + 1e-9
+        assert w_star_s <= optimum.weight + 1e-9

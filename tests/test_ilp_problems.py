@@ -1,0 +1,157 @@
+"""Tests for problem-to-ILP constructors."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_connected,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.metrics import (
+    is_dominating_set,
+    is_independent_set,
+    is_matching,
+    is_vertex_cover,
+)
+from repro.ilp import (
+    b_matching_ilp,
+    general_covering_ilp,
+    knapsack_packing_ilp,
+    max_independent_set_ilp,
+    max_matching_ilp,
+    min_dominating_set_ilp,
+    min_edge_cover_ilp,
+    min_vertex_cover_ilp,
+    set_cover_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+
+
+class TestMis:
+    def test_known_values(self):
+        assert solve_packing_exact(max_independent_set_ilp(cycle_graph(9))).weight == 4
+        assert solve_packing_exact(max_independent_set_ilp(complete_graph(6))).weight == 1
+        assert solve_packing_exact(max_independent_set_ilp(star_graph(6))).weight == 5
+
+    def test_solution_decodes_to_independent_set(self):
+        g = petersen_graph()
+        inst = max_independent_set_ilp(g)
+        chosen = solve_packing_exact(inst).chosen
+        assert is_independent_set(g, chosen)
+
+    def test_weights(self):
+        g = path_graph(3)
+        inst = max_independent_set_ilp(g, weights=[1, 10, 1])
+        assert solve_packing_exact(inst).weight == 10
+
+
+class TestMatching:
+    def test_known_values(self):
+        enc = max_matching_ilp(cycle_graph(7))
+        assert solve_packing_exact(enc.instance).weight == 3
+        enc = max_matching_ilp(petersen_graph())
+        assert solve_packing_exact(enc.instance).weight == 5
+
+    def test_decode_is_matching(self):
+        g = erdos_renyi_connected(14, 0.3, np.random.default_rng(0))
+        enc = max_matching_ilp(g)
+        chosen = solve_packing_exact(enc.instance).chosen
+        edges = enc.decode(set(chosen))
+        assert is_matching(g, edges)
+
+    def test_weighted_matching(self):
+        g = path_graph(3)  # edges (0,1) and (1,2) conflict
+        enc = max_matching_ilp(g, weights={(0, 1): 5.0, (1, 2): 1.0})
+        sol = solve_packing_exact(enc.instance)
+        assert sol.weight == 5.0
+        assert enc.decode(set(sol.chosen)) == [(0, 1)]
+
+
+class TestBMatching:
+    def test_capacity_two(self):
+        g = star_graph(5)
+        enc = b_matching_ilp(g, capacities=[2, 1, 1, 1, 1])
+        assert solve_packing_exact(enc.instance).weight == 2
+
+
+class TestKnapsack:
+    def test_single_constraint(self):
+        inst = knapsack_packing_ilp(
+            weights=[6, 10, 12],
+            sizes=[[1, 2, 3]],
+            capacities=[5],
+        )
+        assert solve_packing_exact(inst).weight == 22
+
+
+class TestVertexCover:
+    def test_known_values(self):
+        assert solve_covering_exact(min_vertex_cover_ilp(cycle_graph(9))).weight == 5
+        assert solve_covering_exact(min_vertex_cover_ilp(star_graph(6))).weight == 1
+
+    def test_solution_is_cover(self):
+        g = petersen_graph()
+        chosen = solve_covering_exact(min_vertex_cover_ilp(g)).chosen
+        assert is_vertex_cover(g, chosen)
+
+    def test_complement_of_mis(self):
+        g = erdos_renyi_connected(14, 0.3, np.random.default_rng(1))
+        alpha = solve_packing_exact(max_independent_set_ilp(g)).weight
+        tau = solve_covering_exact(min_vertex_cover_ilp(g)).weight
+        assert alpha + tau == g.n
+
+
+class TestDominatingSet:
+    def test_known_values(self):
+        assert solve_covering_exact(min_dominating_set_ilp(path_graph(7))).weight == 3
+        assert solve_covering_exact(min_dominating_set_ilp(star_graph(9))).weight == 1
+        assert solve_covering_exact(min_dominating_set_ilp(petersen_graph())).weight == 3
+
+    def test_k_distance(self):
+        g = path_graph(9)
+        inst = min_dominating_set_ilp(g, k=2)
+        sol = solve_covering_exact(inst)
+        assert sol.weight == 2
+        assert is_dominating_set(g, sol.chosen, k=2)
+
+    def test_hypergraph_is_closed_neighborhoods(self):
+        g = cycle_graph(5)
+        inst = min_dominating_set_ilp(g)
+        assert inst.hypergraph().m == 5
+        assert inst.hypergraph().rank() == 3
+
+
+class TestEdgeCoverAndSetCover:
+    def test_edge_cover(self):
+        enc = min_edge_cover_ilp(cycle_graph(6))
+        assert solve_covering_exact(enc.instance).weight == 3
+
+    def test_edge_cover_isolated_vertex_rejected(self):
+        with pytest.raises(ValueError, match="isolated"):
+            min_edge_cover_ilp(Graph(2, []))
+
+    def test_set_cover(self):
+        inst = set_cover_ilp(
+            4, elements=[[0, 1], [1, 2], [2, 3], [0, 3]]
+        )
+        assert solve_covering_exact(inst).weight == 2
+
+    def test_uncoverable_element_rejected(self):
+        with pytest.raises(ValueError, match="uncoverable"):
+            set_cover_ilp(2, elements=[[]])
+
+    def test_general_covering(self):
+        inst = general_covering_ilp(
+            weights=[1, 1, 1],
+            rows=[{0: 2.0, 1: 1.0}, {2: 1.0}],
+            bounds=[2.0, 1.0],
+        )
+        sol = solve_covering_exact(inst)
+        assert sol.weight == 2
+        assert 2 in sol.chosen

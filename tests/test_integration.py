@@ -1,0 +1,143 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import low_diameter_decomposition, solve_covering, solve_packing
+from repro.decomp import (
+    elkin_neiman_ldd,
+    gkm_solve_packing,
+    mpx_decomposition,
+    sample_shifts,
+)
+from repro.graphs import (
+    clique_family,
+    cycle_graph,
+    en_failure_event,
+    erdos_renyi_connected,
+    grid_graph,
+    mpx_bad_family,
+    mpx_failure_event,
+)
+from repro.ilp import (
+    SolveCache,
+    max_independent_set_ilp,
+    min_dominating_set_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+
+
+class TestAppendixCFailures:
+    def test_en_fails_on_clique_with_probability_omega_eps(self):
+        """Claim C.1: on K_n, Elkin–Neiman deletes >= n-1 vertices with
+        probability Ω(ε) — the analytic event and the observed behaviour
+        coincide."""
+        lam = 0.25
+        g = clique_family(24)
+        catastrophic = 0
+        event_hits = 0
+        trials = 60
+        for seed in range(trials):
+            shifts = sample_shifts(g.n, lam, g.n, seed=seed)
+            d = elkin_neiman_ldd(g, lam, shifts=shifts)
+            if len(d.deleted) >= g.n - 1:
+                catastrophic += 1
+            if en_failure_event(g, list(shifts)):
+                event_hits += 1
+                # The analytic event forces the catastrophe.
+                assert len(d.deleted) >= g.n - 1
+        # Ω(ε) failure rate: with λ=0.25, 1-e^{-λ} ≈ 0.22.
+        assert catastrophic / trials >= 0.08
+        assert catastrophic >= event_hits
+
+    def test_cl_ldd_does_not_collapse_on_clique(self):
+        """Theorem 1.1 repairs Claim C.1: on the same clique the CL
+        decomposition's unclustered count never approaches n-1."""
+        g = clique_family(24)
+        eps = 0.25
+        worst = 0
+        for seed in range(20):
+            d = low_diameter_decomposition(g, eps=eps, seed=seed)
+            worst = max(worst, len(d.deleted))
+        assert worst <= math.ceil(eps * g.n)
+
+    def test_mpx_fails_on_bad_family(self):
+        """Claim C.2: MPX cuts ~all edges with probability Ω(ε)."""
+        lam = 0.3
+        bad = mpx_bad_family(8)
+        g = bad.graph
+        heavy_cut = 0
+        trials = 80
+        for seed in range(trials):
+            shifts = sample_shifts(g.n, lam, g.n, seed=seed)
+            d = mpx_decomposition(g, lam, shifts=shifts)
+            if mpx_failure_event(bad, list(shifts)):
+                # Event E forces all t^2 bipartite edges cut.
+                bip = set(bad.bipartite_edges)
+                assert bip <= {tuple(sorted(e)) for e in d.cut_edges}
+            if d.cut_fraction(g) >= bad.t**2 / g.m:
+                heavy_cut += 1
+        assert heavy_cut / trials >= 0.05
+
+
+class TestChangLiVsGkm:
+    def test_same_quality_fewer_nominal_rounds(self):
+        """E5's headline: CL matches GKM quality with asymptotically
+        fewer rounds; at fixed size we check quality parity and that
+        both meet the (1-ε) bar."""
+        eps = 0.3
+        cache = SolveCache()
+        g = erdos_renyi_connected(36, 0.09, np.random.default_rng(1))
+        inst = max_independent_set_ilp(g)
+        opt = solve_packing_exact(inst, cache=cache).weight
+        cl = solve_packing(inst, eps, seed=2, cache=cache)
+        gkm = gkm_solve_packing(inst, eps, seed=2, scale=0.35, cache=cache)
+        assert cl.weight >= (1 - eps) * opt - 1e-9
+        assert inst.weight(gkm.chosen) >= (1 - eps) * opt - 1e-9
+
+
+class TestHighProbabilityBehaviour:
+    def test_ldd_tail_across_many_seeds(self):
+        """(C1): max unclustered fraction across seeds stays below ε —
+        the w.h.p. strengthening over the in-expectation guarantee."""
+        g = grid_graph(9, 9)
+        eps = 0.3
+        fractions = []
+        for seed in range(25):
+            d = low_diameter_decomposition(g, eps=eps, seed=seed)
+            fractions.append(len(d.deleted) / g.n)
+        assert max(fractions) <= eps
+
+    def test_packing_never_below_guarantee_across_seeds(self):
+        eps = 0.3
+        cache = SolveCache()
+        g = cycle_graph(60)
+        inst = max_independent_set_ilp(g)
+        opt = solve_packing_exact(inst, cache=cache).weight
+        for seed in range(6):
+            r = solve_packing(inst, eps, seed=seed, cache=cache)
+            assert r.weight >= (1 - eps) * opt - 1e-9
+
+    def test_covering_never_above_guarantee_across_seeds(self):
+        eps = 0.3
+        cache = SolveCache()
+        g = cycle_graph(36)
+        inst = min_dominating_set_ilp(g)
+        opt = solve_covering_exact(inst, cache=cache).weight
+        for seed in range(6):
+            r = solve_covering(inst, eps, seed=seed, cache=cache)
+            assert r.weight <= (1 + eps) * opt + 1e-9
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        g = repro.cycle_graph(12)
+        inst = repro.max_independent_set_ilp(g)
+        result = repro.solve_packing(inst, eps=0.4, seed=0)
+        assert result.weight >= 0.6 * 6 - 1e-9

@@ -1,0 +1,70 @@
+"""Tests for the classic LOCAL algorithms on the message engine."""
+
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, path_graph, star_graph
+from repro.graphs.metrics import is_independent_set
+from repro.local import audit_congest
+from repro.local.algorithms import (
+    bfs_layers_distributed,
+    eccentricities_distributed,
+    luby_mis_distributed,
+)
+
+
+class TestBfsDistributed:
+    def test_layers_match_centralized(self):
+        g = grid_graph(5, 5)
+        layers, rounds = bfs_layers_distributed(g, {0})
+        expected = g.bfs_distances([0])
+        assert layers == [expected[v] for v in range(g.n)]
+
+    def test_multi_root(self):
+        g = path_graph(9)
+        layers, _ = bfs_layers_distributed(g, {0, 8})
+        assert layers[4] == 4
+        assert layers[1] == 1
+        assert layers[7] == 1
+
+    def test_requires_roots(self):
+        with pytest.raises(ValueError):
+            bfs_layers_distributed(path_graph(3), set())
+
+
+class TestLubyDistributed:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_maximal_independent_set(self, seed):
+        g = grid_graph(5, 6)
+        selected, rounds = luby_mis_distributed(g, seed=seed)
+        assert is_independent_set(g, selected)
+        for v in range(g.n):
+            assert v in selected or any(
+                u in selected for u in g.neighbors(v)
+            )
+
+    def test_round_count_logarithmic(self):
+        g = cycle_graph(100)
+        _, rounds = luby_mis_distributed(g, seed=1)
+        # Expected O(log n) phases, 2 rounds each; generous cap.
+        assert rounds <= 60
+
+    def test_star_center_or_leaves(self):
+        g = star_graph(10)
+        selected, _ = luby_mis_distributed(g, seed=2)
+        if 0 in selected:
+            assert selected == {0}
+        else:
+            assert selected == set(range(1, 10))
+
+
+class TestEccentricity:
+    def test_matches_centralized(self):
+        g = grid_graph(4, 4)
+        eccs, rounds = eccentricities_distributed(g)
+        assert eccs == [int(g.eccentricity(v)) for v in range(g.n)]
+
+    def test_path_endpoints(self):
+        g = path_graph(7)
+        eccs, _ = eccentricities_distributed(g)
+        assert eccs[0] == 6
+        assert eccs[3] == 3

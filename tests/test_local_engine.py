@@ -1,0 +1,144 @@
+"""Tests for the synchronous LOCAL engine and node programs."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.local import (
+    Broadcast,
+    MessageAlgorithm,
+    NodeContext,
+    audit_congest,
+    run_synchronous,
+)
+
+
+class FloodMin(MessageAlgorithm):
+    """Classic flood: learn the minimum ID in the graph."""
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.best = ctx.node_id
+        self.dirty = True
+        self.deadline = ctx.n_upper_bound  # diameter bound
+
+    def generate(self, round_index):
+        if not self.dirty:
+            return {}
+        self.dirty = False
+        return Broadcast(self.best)
+
+    def process(self, round_index, inbox):
+        for value in inbox.values():
+            if value < self.best:
+                self.best = value
+                self.dirty = True
+        if round_index + 1 >= self.deadline:
+            self.halt(self.best)
+
+
+class CountNeighbors(MessageAlgorithm):
+    """One-round: output own degree learned through messages."""
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+
+    def generate(self, round_index):
+        if round_index == 0:
+            return Broadcast("ping")
+        return {}
+
+    def process(self, round_index, inbox):
+        self.halt(len(inbox))
+
+
+class TestEngine:
+    def test_flood_min_on_path(self):
+        g = path_graph(6)
+        result = run_synchronous(
+            g, FloodMin, anonymous=False, n_upper_bound=6
+        )
+        assert result.outputs == [0] * 6
+        assert result.rounds <= 7
+
+    def test_flood_respects_ids(self):
+        g = cycle_graph(5)
+        ids = [10, 3, 7, 9, 5]
+        result = run_synchronous(
+            g, FloodMin, anonymous=False, n_upper_bound=5, ids=ids
+        )
+        assert result.outputs == [3] * 5
+
+    def test_degree_counting(self):
+        g = star_graph(5)
+        result = run_synchronous(g, CountNeighbors)
+        assert result.outputs == [4, 1, 1, 1, 1]
+        assert result.rounds == 1
+
+    def test_message_count(self):
+        g = cycle_graph(4)
+        result = run_synchronous(g, CountNeighbors)
+        assert result.messages_sent == 8  # every vertex broadcasts once
+
+    def test_max_rounds_guard(self):
+        class Babbler(MessageAlgorithm):
+            def setup(self, ctx):
+                pass
+
+            def generate(self, round_index):
+                return Broadcast("x")
+
+            def process(self, round_index, inbox):
+                pass
+
+        with pytest.raises(RuntimeError, match="max_rounds"):
+            run_synchronous(cycle_graph(3), Babbler, max_rounds=5)
+
+    def test_distinct_ids_required(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_synchronous(
+                cycle_graph(3),
+                CountNeighbors,
+                anonymous=False,
+                ids=[1, 1, 2],
+            )
+
+    def test_anonymous_nodes_have_no_id(self):
+        seen = []
+
+        class Check(MessageAlgorithm):
+            def setup(self, ctx):
+                seen.append(ctx.node_id)
+                self.halt(True)
+
+        run_synchronous(cycle_graph(3), Check, anonymous=True)
+        assert seen == [None, None, None]
+
+    def test_congest_audit(self):
+        g = cycle_graph(8)
+        result = run_synchronous(g, CountNeighbors, measure_bits=True)
+        audit = audit_congest(result, g.n)
+        assert audit.max_message_bits > 0
+        assert audit.budget_bits > 0
+        assert audit.overhead_factor == pytest.approx(
+            audit.max_message_bits / audit.budget_bits
+        )
+
+    def test_per_node_rng_independent(self):
+        values = []
+
+        class Draw(MessageAlgorithm):
+            def setup(self, ctx):
+                values.append(float(ctx.rng.random()))
+                self.halt(True)
+
+        run_synchronous(cycle_graph(6), Draw, seed=5)
+        assert len(set(values)) == 6  # all distinct streams
+
+        values2 = []
+
+        class Draw2(MessageAlgorithm):
+            def setup(self, ctx):
+                values2.append(float(ctx.rng.random()))
+                self.halt(True)
+
+        run_synchronous(cycle_graph(6), Draw2, seed=5)
+        assert values == values2  # same seed, same streams

@@ -1,0 +1,88 @@
+"""Tests for the round ledger and gather primitive."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.local import RoundLedger, gather_ball
+
+
+class TestRoundLedger:
+    def test_charges_accumulate(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 10, 4)
+        ledger.charge("b", 5)
+        assert ledger.nominal_rounds == 15
+        assert ledger.effective_rounds == 9
+
+    def test_effective_capped_by_nominal(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 3, 100)
+        assert ledger.effective_rounds == 3
+
+    def test_by_label(self):
+        ledger = RoundLedger()
+        ledger.charge("x", 2, 1)
+        ledger.charge("x", 3, 2)
+        ledger.charge("y", 5, 5)
+        agg = ledger.by_label()
+        assert agg["x"] == (5, 3)
+        assert agg["y"] == (5, 5)
+
+    def test_merge_sequential(self):
+        a = RoundLedger()
+        a.charge("a", 2)
+        b = RoundLedger()
+        b.charge("b", 3)
+        a.merge(b, prefix="sub-")
+        assert a.nominal_rounds == 5
+        assert a.by_label() == {"a": (2, 2), "sub-b": (3, 3)}
+
+    def test_merge_parallel_takes_max(self):
+        main = RoundLedger()
+        l1 = RoundLedger()
+        l1.charge("x", 7, 3)
+        l2 = RoundLedger()
+        l2.charge("x", 4, 4)
+        main.merge_parallel([l1, l2], "par")
+        assert main.nominal_rounds == 7
+        assert main.effective_rounds == 4
+
+    def test_negative_rejected(self):
+        ledger = RoundLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("a", -1)
+
+
+class TestGatherBall:
+    def test_layers_on_path(self):
+        g = path_graph(7)
+        res = gather_ball(g, [0], 3)
+        assert res.ball == {0, 1, 2, 3}
+        assert res.layer(0) == {0}
+        assert res.layer(2) == {2}
+        assert res.layer(9) == frozenset()
+        assert res.depth_reached == 3
+
+    def test_multi_center(self):
+        g = path_graph(7)
+        res = gather_ball(g, [0, 6], 1)
+        assert res.ball == {0, 1, 5, 6}
+        assert res.layer(0) == {0, 6}
+
+    def test_within_restriction(self):
+        g = path_graph(7)
+        res = gather_ball(g, [0], 6, within={0, 1, 2, 5})
+        assert res.ball == {0, 1, 2}  # 5 unreachable through the gap
+        assert res.depth_reached == 2
+
+    def test_center_outside_within(self):
+        g = path_graph(4)
+        res = gather_ball(g, [0], 2, within={1, 2})
+        assert res.ball == set()
+
+    def test_ledger_charging(self):
+        g = cycle_graph(10)
+        ledger = RoundLedger()
+        gather_ball(g, [0], 8, ledger=ledger, label="probe")
+        # Effective depth on a 10-cycle from one vertex is 5.
+        assert ledger.by_label()["probe"] == (8, 5)

@@ -1,0 +1,127 @@
+"""Tests for the Appendix B lower-bound machinery."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bipartite_double_cover,
+    cycle_graph,
+    heawood_graph,
+    mcgee_graph,
+    petersen_graph,
+)
+from repro.graphs.metrics import is_independent_set, is_vertex_cover
+from repro.ilp import max_independent_set_ilp, solve_packing_exact
+from repro.lower_bounds import (
+    compare_on_pair,
+    cut_subdivision_parameter,
+    dominating_set_reduction,
+    independent_set_from_vertex_cover,
+    luby_mis_prefix,
+    mis_subdivision_parameter,
+    selected_fraction,
+    vertex_cover_from_independent_set,
+    views_are_trees,
+)
+
+
+class TestViews:
+    def test_tree_views_on_high_girth(self):
+        g = mcgee_graph()  # girth 7
+        assert views_are_trees(g, 2)
+        assert not views_are_trees(g, 3)
+
+    def test_cycle_views(self):
+        g = cycle_graph(9)
+        assert views_are_trees(g, 3)
+        assert not views_are_trees(g, 4)
+
+    def test_double_cover_preserves_view_radius(self):
+        base = petersen_graph()  # girth 5
+        cover = bipartite_double_cover(base)
+        assert views_are_trees(base, 1)
+        assert views_are_trees(cover, 1)
+
+
+class TestLuby:
+    def test_output_is_independent(self):
+        g = petersen_graph()
+        for rounds in (0, 1, 2, 5):
+            sel = luby_mis_prefix(g, rounds, seed=rounds)
+            assert is_independent_set(g, sel)
+
+    def test_zero_rounds_selects_nothing(self):
+        assert luby_mis_prefix(cycle_graph(8), 0, seed=1) == set()
+
+    def test_more_rounds_more_selected(self):
+        g = cycle_graph(50)
+        one = len(luby_mis_prefix(g, 1, seed=3))
+        many = len(luby_mis_prefix(g, 8, seed=3))
+        assert many >= one
+
+    def test_converges_to_maximal(self):
+        g = cycle_graph(30)
+        sel = luby_mis_prefix(g, 30, seed=4)
+        # maximal: every vertex is in or has a selected neighbor
+        for v in range(g.n):
+            assert v in sel or any(u in sel for u in g.neighbors(v))
+
+
+class TestIndistinguishability:
+    def test_marginals_match_on_pair(self):
+        """The Theorem B.2 mechanism: on the McGee graph vs its
+        bipartite double cover, a 2-round algorithm's output fraction is
+        statistically identical (views are trees both sides)."""
+        base = mcgee_graph()
+        cover = bipartite_double_cover(base)
+        alpha = solve_packing_exact(max_independent_set_ilp(base)).weight
+        report = compare_on_pair(
+            bipartite=cover,
+            ramanujan=base,
+            independence_fraction_ramanujan=alpha / base.n,
+            rounds=2,
+            trials=60,
+            seed=0,
+        )
+        assert report.views_tree_bipartite
+        assert report.views_tree_ramanujan
+        assert report.marginal_gap < 0.06
+        # McGee alpha = 10/24 < 1/2: implied bipartite ratio 5/6 < 1 —
+        # no 2-round algorithm can (1-eps)-approximate for small eps.
+        assert report.implied_bipartite_ratio == pytest.approx(10 / 24 / 0.5)
+        assert report.implied_bipartite_ratio < 0.9
+
+    def test_fraction_capped_by_independence_number(self):
+        base = mcgee_graph()
+        fractions = selected_fraction(base, rounds=6, trials=30, seed=1)
+        alpha = solve_packing_exact(max_independent_set_ilp(base)).weight
+        assert max(fractions) <= alpha / base.n + 1e-9
+
+
+class TestReductions:
+    def test_subdivision_parameters(self):
+        assert mis_subdivision_parameter(0.04) == 0
+        assert mis_subdivision_parameter(0.001) == (int((0.08 / 0.001 - 1) // 18))
+        assert cut_subdivision_parameter(0.0001) >= 1
+
+    def test_vc_is_complement(self):
+        g = petersen_graph()
+        iset = set(solve_packing_exact(max_independent_set_ilp(g)).chosen)
+        cover = vertex_cover_from_independent_set(g, iset)
+        assert is_vertex_cover(g, cover)
+        back = independent_set_from_vertex_cover(g, cover)
+        assert back == iset
+
+    def test_vc_rejects_non_independent(self):
+        g = cycle_graph(5)
+        with pytest.raises(ValueError):
+            vertex_cover_from_independent_set(g, {0, 1})
+
+    def test_dominating_reduction_round_trip(self):
+        g = heawood_graph()
+        red = dominating_set_reduction(g)
+        # A valid dominating set of G*: all original vertices.
+        dom = set(range(g.n))
+        cover = red.vertex_cover_from_dominating_set(dom)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) <= len(dom)
