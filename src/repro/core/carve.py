@@ -67,6 +67,7 @@ def grow_and_carve(
     interval: Interval,
     remaining: Set[int],
     weights: Optional[Sequence[float]] = None,
+    backend: str = "python",
 ) -> CarveOutcome:
     """Algorithm 1: delete the sparsest layer in ``interval``.
 
@@ -80,7 +81,7 @@ def grow_and_carve(
     """
     a, b = interval
     require(1 <= a <= b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b, within=remaining)
+    gathered = gather_ball(graph, centers, b, within=remaining, backend=backend)
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(

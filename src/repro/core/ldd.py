@@ -33,6 +33,7 @@ from repro.core.carve import CarveOutcome, grow_and_carve
 from repro.core.params import LddParams
 from repro.decomp.elkin_neiman import elkin_neiman_ldd
 from repro.decomp.types import Decomposition
+from repro.graphs.csr import check_backend
 from repro.graphs.graph import Graph
 from repro.local.gather import RoundLedger, gather_ball
 from repro.util.rng import SeedLike, spawn_rngs
@@ -57,6 +58,7 @@ def chang_li_ldd(
     weights: Optional[Sequence[float]] = None,
     skip_phase2: bool = False,
     trace: Optional[LddTrace] = None,
+    backend: str = "csr",
 ) -> Decomposition:
     """Run the Theorem 1.1 decomposition with the given parameters.
 
@@ -65,7 +67,16 @@ def chang_li_ldd(
     non-adjacent by construction; weak diameter ``O(t R)`` by Lemma
     3.2).  ``skip_phase2`` is an ablation hook (E12): it degrades the
     w.h.p. guarantee exactly as the analysis predicts.
+
+    ``backend`` selects the execution engine for every BFS-shaped step
+    (the ``n_v`` estimation, ball growing, the Elkin–Neiman flood and
+    the final components): ``"csr"`` (default) uses the batched numpy
+    kernels of :mod:`repro.graphs.csr`, ``"python"`` the reference
+    pure-Python implementations.  Unweighted runs produce bit-identical
+    decompositions on either backend; weighted runs may differ at
+    ``int(n_v)`` boundaries because float summation order differs.
     """
+    check_backend(backend)
     n = graph.n
     require(
         weights is None or len(weights) == n, "need one weight per vertex"
@@ -76,12 +87,21 @@ def chang_li_ldd(
     deleted: Set[int] = set()
 
     # -- Estimate n_v = |N^{4tR}(v)| (Algorithm 2, line 1). -----------
+    # The hot path: one batched frontier expansion replaces n
+    # single-source gathers on the CSR backend.
     estimates: Dict[int, float] = {}
     max_depth = 0
-    for v in range(n):
-        gathered = gather_ball(graph, [v], params.estimate_radius)
-        estimates[v] = _measure(gathered.ball, weights)
-        max_depth = max(max_depth, gathered.depth_reached)
+    if backend == "csr" and n:
+        sizes, depths = graph.csr().all_ball_sizes(
+            params.estimate_radius, weights=weights
+        )
+        estimates = {v: float(sizes[v]) for v in range(n)}
+        max_depth = int(depths.max())
+    else:
+        for v in range(n):
+            gathered = gather_ball(graph, [v], params.estimate_radius)
+            estimates[v] = _measure(gathered.ball, weights)
+            max_depth = max(max_depth, gathered.depth_reached)
     ledger.charge("estimate-nv", params.estimate_radius, max_depth)
 
     # -- Phase 1: t sparsification iterations (Algorithm 2). ----------
@@ -103,6 +123,7 @@ def chang_li_ldd(
             f"phase1-iter{i}",
             weights,
             trace,
+            backend,
         )
 
     # -- Phase 2: one boosted iteration (Algorithm 3). ----------------
@@ -124,6 +145,7 @@ def chang_li_ldd(
             "phase2",
             weights,
             trace,
+            backend,
         )
     if trace is not None:
         trace.residual_after_phase2 = len(remaining)
@@ -136,6 +158,7 @@ def chang_li_ldd(
             ntilde=params.ntilde,
             seed=rngs[2 * n],
             within=remaining,
+            backend=backend,
         )
         deleted |= en.deleted
         ledger.merge(en.ledger, prefix="phase3-")
@@ -145,7 +168,7 @@ def chang_li_ldd(
     clusters = [
         set(c)
         for c in graph.connected_components(
-            within=set(range(n)) - deleted
+            within=set(range(n)) - deleted, backend=backend
         )
     ]
     return Decomposition(
@@ -162,13 +185,15 @@ def low_diameter_decomposition(
     ntilde: Optional[int] = None,
     seed: SeedLike = None,
     profile: str = "practical",
+    backend: str = "csr",
     **profile_kwargs,
 ) -> Decomposition:
     """Convenience entry point: build params, run :func:`chang_li_ldd`.
 
     ``profile`` selects :meth:`LddParams.paper` or
     :meth:`LddParams.practical` (default; extra keyword arguments are
-    forwarded to the profile constructor).
+    forwarded to the profile constructor).  ``backend`` is forwarded to
+    :func:`chang_li_ldd`.
     """
     ntilde = ntilde if ntilde is not None else max(graph.n, 2)
     if profile == "paper":
@@ -177,7 +202,7 @@ def low_diameter_decomposition(
         params = LddParams.practical(eps, ntilde, **profile_kwargs)
     else:
         raise ValueError(f"unknown profile {profile!r}")
-    return chang_li_ldd(graph, params, seed=seed)
+    return chang_li_ldd(graph, params, seed=seed, backend=backend)
 
 
 def _measure(vertices: Set[int], weights: Optional[Sequence[float]]) -> float:
@@ -196,20 +221,28 @@ def _apply_carves(
     label: str,
     weights: Optional[Sequence[float]],
     trace: Optional[LddTrace],
+    backend: str = "python",
 ) -> None:
     """Run all centers' carves against the same residual snapshot.
 
     Merge rule (Section 3.1.2): a vertex deleted by any execution is
-    deleted, even if another execution removed it.
+    deleted, even if another execution removed it.  On the CSR backend
+    the shared snapshot is converted to a boolean mask once and reused
+    by every carve's BFS.
     """
     removed_now: Set[int] = set()
     deleted_now: Set[int] = set()
     max_depth = 0
+    executed = 0
+    snapshot = remaining
+    if backend == "csr" and centers:
+        snapshot = graph.csr().residual_mask(remaining)
     for center in centers:
         if center not in remaining:
             continue  # carved away by a parallel execution's snapshot merge
+        executed += 1
         outcome = grow_and_carve(
-            graph, [center], interval, remaining, weights=weights
+            graph, [center], interval, snapshot, weights=weights, backend=backend
         )
         removed_now |= outcome.removed
         deleted_now |= outcome.deleted
@@ -220,6 +253,8 @@ def _apply_carves(
     remaining -= deleted_now
     ledger.charge(label, 2 * interval[1], 2 * max_depth)
     if trace is not None:
-        trace.centers_per_iteration.append(len(centers))
+        # Carves actually executed — not the sampled-center count, which
+        # would overstate work when a center was already carved away.
+        trace.centers_per_iteration.append(executed)
         trace.deleted_per_iteration.append(len(deleted_now))
         trace.removed_per_iteration.append(len(removed_now))

@@ -96,7 +96,7 @@ def chang_li_packing(
                 i, cluster.weight_self, cluster.weight_neighborhood
             )
         ]
-        _apply_packing_carves(
+        executed = _apply_packing_carves(
             instance,
             graph,
             clusters,
@@ -108,7 +108,7 @@ def chang_li_packing(
             f"phase1-iter{i}",
             cache,
         )
-        centers_per_iteration.append(len(center_ids))
+        centers_per_iteration.append(executed)
 
     interval = params.phase2_interval()
     center_ids = [
@@ -119,7 +119,7 @@ def chang_li_packing(
             cluster.weight_self, cluster.weight_neighborhood
         )
     ]
-    _apply_packing_carves(
+    executed = _apply_packing_carves(
         instance,
         graph,
         clusters,
@@ -131,7 +131,7 @@ def chang_li_packing(
         "phase2",
         cache,
     )
-    centers_per_iteration.append(len(center_ids))
+    centers_per_iteration.append(executed)
 
     if remaining:
         en = elkin_neiman_ldd(
@@ -243,15 +243,22 @@ def _apply_packing_carves(
     ledger: RoundLedger,
     label: str,
     cache: SolveCache,
-) -> None:
-    """All sampled clusters carve against the same residual snapshot."""
+) -> int:
+    """All sampled clusters carve against the same residual snapshot.
+
+    Returns the number of carves actually executed (clusters whose
+    seeds were already carved away are skipped and not counted —
+    keeps the E12 ablation's carve-center column accurate).
+    """
     removed_now: Set[int] = set()
     deleted_now: Set[int] = set()
     max_depth = 0
+    executed = 0
     for idx in center_ids:
         seeds = set(clusters[idx].vertices) & remaining
         if not seeds:
             continue
+        executed += 1
         outcome = grow_and_carve_packing(
             instance, graph, seeds, interval, remaining, cache=cache
         )
@@ -263,3 +270,4 @@ def _apply_packing_carves(
     remaining -= removed_now
     remaining -= deleted_now
     ledger.charge(label, 2 * interval[1], 2 * max_depth)
+    return executed

@@ -73,15 +73,21 @@ def gkm_solve_packing(
     seed: SeedLike = None,
     scale: float = 1.0,
     cache: Optional[SolveCache] = None,
+    backend: str = "csr",
 ) -> GkmResult:
-    """(1−ε)-approximate packing via network decomposition (GKM17)."""
+    """(1−ε)-approximate packing via network decomposition (GKM17).
+
+    ``backend`` selects how the ``G^{2k}`` power graph is built:
+    ``"csr"`` (default) batches reachability for all vertices via the
+    numpy kernel, ``"python"`` runs the per-vertex reference BFS.
+    """
     check_fraction("eps", eps)
     graph = instance.hypergraph().primal_graph()
     n = graph.n
     ntilde = ntilde if ntilde is not None else max(n, 2)
     k = _carving_radius(eps, ntilde, scale)
     ledger = RoundLedger()
-    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger)
+    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger, backend)
     remaining: Set[int] = set(range(n))
     chosen: Set[int] = set()
     carves = 0
@@ -158,6 +164,7 @@ def gkm_solve_covering(
     seed: SeedLike = None,
     scale: float = 1.0,
     cache: Optional[SolveCache] = None,
+    backend: str = "csr",
 ) -> GkmResult:
     """(1+ε)-style covering via network decomposition (ND-based analog).
 
@@ -177,7 +184,7 @@ def gkm_solve_covering(
     # Window of ~2/eps layer pairs so the fixed boundary costs O(eps).
     k = max(4, math.ceil(2.0 * scale / eps))
     ledger = RoundLedger()
-    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger)
+    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger, backend)
     remaining: Set[int] = set(range(n))
     fixed_ones: Set[int] = set()
     zones: List[Set[int]] = []
@@ -326,10 +333,15 @@ def _power_graph_decomposition(
     ntilde: int,
     seed: SeedLike,
     ledger: RoundLedger,
+    backend: str = "csr",
 ) -> NetworkDecomposition:
-    """LS decomposition of ``G^{2k}``; charges ND rounds at base-graph cost."""
+    """LS decomposition of ``G^{2k}``; charges ND rounds at base-graph cost.
+
+    The ``G^{2k}`` construction is the expensive part at scale; the CSR
+    backend builds it with one batched reachability sweep.
+    """
     power_radius = 2 * k
-    power = graph.power(power_radius) if graph.n else graph
+    power = graph.power(power_radius, backend=backend) if graph.n else graph
     nd = linial_saks_decomposition(power, ntilde=ntilde, seed=seed)
     # Every LS round on G^{2k} costs 2k rounds of G.
     ledger.charge(

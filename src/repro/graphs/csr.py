@@ -1,0 +1,610 @@
+"""Batched CSR graph kernels — the numpy fast path for BFS-shaped work.
+
+Profiling the Theorem 1.1 decomposition shows ~95% of its runtime in
+per-vertex ``gather_ball`` calls that estimate ``n_v = |N^{4tR}(v)|``.
+Every one of those gathers walks the same adjacency structure, so this
+module stores the graph once in compressed-sparse-row form
+(``indptr``/``indices`` arrays) and exposes *batched* primitives that
+amortize the traversal across all sources simultaneously:
+
+* :meth:`CsrGraph.all_ball_sizes` — ball sizes (optionally weighted)
+  from every source at once, via bit-packed frontier expansion: the
+  per-source visited sets are packed 8 sources per byte and one numpy
+  ``bitwise_or.reduceat`` per BFS level advances *all* frontiers.
+* :meth:`CsrGraph.bfs_distances` — single multi-source BFS with a
+  sparse (index-array) frontier; work is proportional to the edges
+  incident to the frontier, like the pure-Python BFS, but at C speed.
+* :meth:`CsrGraph.distances_from` — batched distance matrix.
+* :meth:`CsrGraph.power` / :meth:`CsrGraph.connected_components` /
+  :meth:`CsrGraph.weak_diameter` — vectorized versions of the
+  corresponding :class:`~repro.graphs.graph.Graph` methods.
+* :meth:`CsrGraph.top2_shifted_flood` — the Elkin–Neiman communication
+  core (top-2 records of ``m_u(v) = T_u − dist(u, v)``) as a fixpoint
+  iteration over array states.
+
+Every kernel is observationally equivalent to its pure-Python
+counterpart (property-tested in ``tests/test_graphs_csr.py``); callers
+select between them via a ``backend=`` parameter ("python" is the
+reference implementation, "csr" the fast path).  Instances are cached
+on the owning :class:`Graph` via :meth:`Graph.csr`, so repeated kernel
+calls pay the CSR construction once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+
+#: Recognized values for the ``backend=`` parameter used across the
+#: library (LDD, carving, gathers, GKM, Elkin–Neiman).
+BACKENDS = ("python", "csr")
+
+#: Tokens in the shifted flood stop propagating below this value
+#: (mirrors ``repro.decomp.shifts.PROPAGATION_CUTOFF``; duplicated here
+#: to keep the graphs layer free of decomp imports).
+_CUTOFF = -1.0
+
+#: Soft cap on the per-round gather buffer (bytes) used to pick the
+#: source-chunk width of the packed batched kernels.
+_GATHER_BUDGET_BYTES = 64 << 20
+
+
+def check_backend(backend: str) -> None:
+    """Validate a ``backend=`` argument."""
+    require(
+        backend in BACKENDS,
+        f"unknown backend {backend!r}; expected one of {BACKENDS}",
+    )
+
+
+def _merge_top2_candidate(state1, state2, cand):
+    """Merge one candidate record per position into distinct-source top-2.
+
+    ``state1``/``state2``/``cand`` are ``(value, source, dist)`` array
+    triples; empty slots carry ``(-inf, -1, 0)``.  Records compare by
+    ``(value, source)`` with larger source winning exact-value ties —
+    the shifted-flood rule.  A candidate with the same source as a kept
+    record is an estimate of the same token, so the larger value (the
+    shorter path) wins; sources held by the state are always distinct.
+    """
+    sv, ss, sd = state1
+    tv, ts, td = state2
+    cv, cs, cd = cand
+    same1 = cs == ss
+    upg1 = same1 & (cv > sv)
+    beat1 = ~same1 & ((cv > sv) | ((cv == sv) & (cs > ss)))
+    take1 = upg1 | beat1
+    n1v = np.where(take1, cv, sv)
+    n1s = np.where(take1, cs, ss)
+    n1d = np.where(take1, cd, sd)
+    # When the candidate displaces slot 1, the old slot-1 record drops
+    # to slot 2 (its source differs from the new leader; it dominates
+    # the old slot 2).  Otherwise the candidate competes for slot 2
+    # unless it shares the leader's source.
+    quiet = ~take1 & ~same1
+    same2 = cs == ts
+    upg2 = quiet & same2 & (cv > tv)
+    beat2 = quiet & ~same2 & ((cv > tv) | ((cv == tv) & (cs > ts)))
+    take2 = upg2 | beat2
+    n2v = np.where(beat1, sv, np.where(take2, cv, tv))
+    n2s = np.where(beat1, ss, np.where(take2, cs, ts))
+    n2d = np.where(beat1, sd, np.where(take2, cd, td))
+    return (n1v, n1s, n1d), (n2v, n2s, n2d)
+
+
+class CsrGraph:
+    """Compressed-sparse-row adjacency of a :class:`Graph` plus kernels.
+
+    ``indices[indptr[v]:indptr[v+1]]`` lists the (sorted) neighbors of
+    ``v``.  The arrays are immutable snapshots of the owning graph,
+    which is itself immutable.
+    """
+
+    __slots__ = (
+        "n",
+        "nnz",
+        "indptr",
+        "indices",
+        "degrees",
+        "_gather_index",
+        "_starts",
+        "_zero_degree",
+    )
+
+    def __init__(self, graph) -> None:
+        n = graph.n
+        self.n = n
+        degrees = np.fromiter(
+            (len(graph.neighbors(v)) for v in range(n)),
+            dtype=np.int64,
+            count=n,
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.fromiter(
+            (u for v in range(n) for u in graph.neighbors(v)),
+            dtype=np.int64,
+            count=nnz,
+        )
+        self.nnz = nnz
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = degrees
+        # The packed expansion gathers one extra (zeroed) row so every
+        # reduceat start index is in range even when trailing vertices
+        # have degree 0 — clipping those starts instead would truncate
+        # the preceding vertex's neighbor segment.  Degree-0 rows get
+        # garbage from reduceat's empty-segment rule and are zeroed
+        # after the reduction.
+        self._gather_index = np.concatenate((indices, [0])) if n else indices
+        self._starts = indptr[:-1]
+        zero = degrees == 0
+        self._zero_degree = np.nonzero(zero)[0] if zero.any() else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def residual_mask(self, within: Optional[Iterable[int]]) -> Optional[np.ndarray]:
+        """Boolean (n,) mask of a residual vertex set.
+
+        The canonical set-to-mask conversion: carving drivers build it
+        once per residual snapshot and pass it as ``within`` to every
+        kernel call of that snapshot (masks pass through untouched).
+        """
+        return self._allowed_mask(within)
+
+    def _allowed_mask(self, within: Optional[Iterable[int]]) -> Optional[np.ndarray]:
+        """Boolean (n,) mask for a residual vertex set, or None.
+
+        A boolean (n,) array passes through unchanged, so callers that
+        run many kernels against the same residual snapshot (the carving
+        drivers) can build the mask once.
+        """
+        if within is None:
+            return None
+        if isinstance(within, np.ndarray) and within.dtype == bool:
+            require(len(within) == self.n, "mask must have one entry per vertex")
+            return within
+        mask = np.zeros(self.n, dtype=bool)
+        idx = np.fromiter(within, dtype=np.int64)
+        if idx.size:
+            require(
+                idx.min() >= 0 and idx.max() < self.n,
+                "within contains out-of-range vertices",
+            )
+            mask[idx] = True
+        return mask
+
+    def _neighbors_of(self, frontier: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor lists of the frontier vertices."""
+        counts = self.degrees[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.indptr[frontier]
+        excl = np.cumsum(counts) - counts
+        pos = np.arange(total, dtype=np.int64) + np.repeat(starts - excl, counts)
+        return self.indices[pos]
+
+    def _expand_packed(
+        self,
+        frontier: np.ndarray,
+        visited: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """One synchronous level of the packed multi-source BFS.
+
+        ``frontier``/``visited`` are (n, W) uint64 with sources packed
+        along the second axis (64 per word).  Returns the newly-visited
+        bits and updates ``visited`` in place.  Word-sized elements
+        matter: ``reduceat``'s inner loop is per element, so uint64
+        words are ~8x faster than the same bits as uint8.
+        """
+        if self.nnz == 0:
+            return np.zeros_like(frontier)
+        gathered = frontier[self._gather_index]
+        gathered[-1] = 0  # padding row: keeps the last segment harmless
+        reach = np.bitwise_or.reduceat(gathered, self._starts, axis=0)
+        if self._zero_degree is not None:
+            reach[self._zero_degree] = 0
+        new = reach & ~visited
+        if mask is not None:
+            new[~mask] = 0
+        visited |= new
+        return new
+
+    def _seed_packed(
+        self,
+        sources: np.ndarray,
+        count: int,
+        mask: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """(n, W) uint64 with bit j (byte-wise, MSB first) set at vertex
+        ``sources[j]``; ``W = ceil(count / 64)``.
+
+        The byte layout matches ``np.unpackbits`` on a uint8 view, so
+        ``unpack`` round-trips regardless of endianness (the bitwise
+        kernels treat bytes independently).  Sources excluded by
+        ``mask`` are left unseeded (empty balls), matching the
+        pure-Python gather on a residual set.
+        """
+        words = (count + 63) // 64
+        visited = np.zeros((self.n, words), dtype=np.uint64)
+        byte_view = visited.view(np.uint8)
+        cols = np.arange(len(sources))
+        if mask is not None:
+            keep = mask[sources]
+            sources, cols = sources[keep], cols[keep]
+        bits = (1 << (7 - (cols & 7))).astype(np.uint8)
+        np.bitwise_or.at(byte_view, (sources, cols >> 3), bits)
+        return visited
+
+    @staticmethod
+    def _unpack(packed: np.ndarray, count: int) -> np.ndarray:
+        """Boolean view of a packed (…, W) uint64 array, ``count`` columns."""
+        return np.unpackbits(
+            np.ascontiguousarray(packed).view(np.uint8), axis=-1, count=count
+        ).astype(bool)
+
+    def _chunk_width(self, requested: Optional[int]) -> int:
+        """Sources per chunk, sized so the gather buffer stays bounded."""
+        if requested is not None:
+            require(requested >= 1, "chunk size must be >= 1")
+            return requested
+        budget_bytes = max(8, _GATHER_BUDGET_BYTES // max(1, self.nnz))
+        return int(min(4096, budget_bytes * 8))
+
+    # ------------------------------------------------------------------
+    # Distances and balls
+    # ------------------------------------------------------------------
+    def bfs_distances(
+        self,
+        sources: Iterable[int],
+        radius: Optional[int] = None,
+        within: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Multi-source BFS distances as an (n,) int64 array (−1 unreached).
+
+        Array-valued counterpart of :meth:`Graph.bfs_distances`; the
+        sparse frontier keeps per-level work proportional to the edges
+        incident to the frontier.
+        """
+        require(radius is None or radius >= 0, "radius must be >= 0")
+        mask = self._allowed_mask(within)
+        dist = np.full(self.n, -1, dtype=np.int64)
+        src = np.fromiter(sources, dtype=np.int64)
+        if src.size:
+            require(
+                src.min() >= 0 and src.max() < self.n,
+                "sources contain out-of-range vertices",
+            )
+        src = np.unique(src)
+        if mask is not None:
+            src = src[mask[src]]
+        if src.size == 0:
+            return dist
+        dist[src] = 0
+        frontier = src
+        d = 0
+        while frontier.size and (radius is None or d < radius):
+            neigh = self._neighbors_of(frontier)
+            neigh = neigh[dist[neigh] < 0]
+            if mask is not None:
+                neigh = neigh[mask[neigh]]
+            if neigh.size == 0:
+                break
+            frontier = np.unique(neigh)
+            d += 1
+            dist[frontier] = d
+        return dist
+
+    def all_ball_sizes(
+        self,
+        radius: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+        within: Optional[Iterable[int]] = None,
+        sources: Optional[Iterable[int]] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ball sizes ``|N^radius(v)|`` for a whole batch of sources.
+
+        Returns ``(sizes, depths)``: ``sizes[j]`` is the vertex count
+        (or total ``weights``) of ``N^radius(sources[j])`` and
+        ``depths[j]`` the largest BFS level that was non-empty — the
+        per-source ``depth_reached`` of the equivalent gather.  This is
+        the Algorithm 2 hot path: one packed frontier expansion per BFS
+        level advances every source at once.
+        """
+        require(radius is None or radius >= 0, "radius must be >= 0")
+        mask = self._allowed_mask(within)
+        if sources is None:
+            src = np.arange(self.n, dtype=np.int64)
+        else:
+            src = np.fromiter(sources, dtype=np.int64)
+            if src.size:
+                require(
+                    src.min() >= 0 and src.max() < self.n,
+                    "sources contain out-of-range vertices",
+                )
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)
+        require(w is None or len(w) == self.n, "need one weight per vertex")
+        sizes = np.zeros(len(src), dtype=np.float64)
+        depths = np.zeros(len(src), dtype=np.int64)
+        chunk = self._chunk_width(chunk_size)
+        for lo in range(0, len(src), chunk):
+            s_chunk = src[lo : lo + chunk]
+            count = len(s_chunk)
+            visited = self._seed_packed(s_chunk, count, mask)
+            frontier = visited.copy()
+            r = 0
+            while frontier.any() and (radius is None or r < radius):
+                new = self._expand_packed(frontier, visited, mask)
+                if not new.any():
+                    break
+                r += 1
+                active = self._unpack(np.bitwise_or.reduce(new, axis=0), count)
+                depths[lo : lo + chunk][active] = r
+                frontier = new
+            unpacked = self._unpack(visited, count)
+            if w is None:
+                sizes[lo : lo + chunk] = unpacked.sum(axis=0)
+            else:
+                sizes[lo : lo + chunk] = w @ unpacked
+        return sizes, depths
+
+    def distances_from(
+        self,
+        sources: Iterable[int],
+        radius: Optional[int] = None,
+        within: Optional[Iterable[int]] = None,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched per-source distances: (S, n) int64, −1 unreached.
+
+        Row ``j`` is the single-source BFS distance vector of
+        ``sources[j]`` (restricted to ``within`` when given).
+        """
+        require(radius is None or radius >= 0, "radius must be >= 0")
+        mask = self._allowed_mask(within)
+        src = np.fromiter(sources, dtype=np.int64)
+        if src.size:
+            require(
+                src.min() >= 0 and src.max() < self.n,
+                "sources contain out-of-range vertices",
+            )
+        dist = np.full((len(src), self.n), -1, dtype=np.int64)
+        chunk = self._chunk_width(chunk_size)
+        for lo in range(0, len(src), chunk):
+            s_chunk = src[lo : lo + chunk]
+            count = len(s_chunk)
+            visited = self._seed_packed(s_chunk, count, mask)
+            block = dist[lo : lo + chunk]
+            block[self._unpack(visited, count).T] = 0
+            frontier = visited.copy()
+            r = 0
+            while frontier.any() and (radius is None or r < radius):
+                new = self._expand_packed(frontier, visited, mask)
+                if not new.any():
+                    break
+                r += 1
+                block[self._unpack(new, count).T] = r
+                frontier = new
+        return dist
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def power(self, k: int, chunk_size: Optional[int] = None):
+        """The k-th power graph ``G^k`` (edge when ``1 <= dist <= k``).
+
+        Batched reachability from every vertex followed by a trusted
+        bulk :class:`Graph` construction — no per-edge Python loop.
+        """
+        from repro.graphs.graph import Graph
+
+        require(k >= 1, f"power k must be >= 1, got {k}")
+        us: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        chunk = self._chunk_width(chunk_size)
+        src = np.arange(self.n, dtype=np.int64)
+        for lo in range(0, self.n, chunk):
+            s_chunk = src[lo : lo + chunk]
+            count = len(s_chunk)
+            visited = self._seed_packed(s_chunk, count, None)
+            frontier = visited.copy()
+            for _ in range(k):
+                new = self._expand_packed(frontier, visited, None)
+                if not new.any():
+                    break
+                frontier = new
+            unpacked = self._unpack(visited, count)
+            reached, col = np.nonzero(unpacked)
+            source = s_chunk[col]
+            keep = reached < source  # each unordered pair once, as (u, v) u < v
+            us.append(reached[keep])
+            vs.append(source[keep])
+        u_all = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
+        v_all = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
+        order = np.lexsort((v_all, u_all))
+        return Graph._from_sorted_edge_arrays(self.n, u_all[order], v_all[order])
+
+    def connected_components(
+        self, within: Optional[Iterable[int]] = None
+    ) -> List[Set[int]]:
+        """Connected components (of the ``within``-induced subgraph).
+
+        Discovery order matches the pure-Python implementation: each
+        component is found from its smallest not-yet-seen vertex.  The
+        per-component BFS marks ``seen`` directly and allocates only
+        frontier-sized arrays, so total work is ``O(n + m)`` even when
+        the graph shatters into many small components (the typical
+        residual shape after LDD carving).
+        """
+        mask = self._allowed_mask(within)
+        seen = np.zeros(self.n, dtype=bool)
+        if mask is not None:
+            seen[~mask] = True
+        components: List[Set[int]] = []
+        cursor = 0
+        while True:
+            while cursor < self.n and seen[cursor]:
+                cursor += 1
+            if cursor >= self.n:
+                break
+            seed = cursor
+            seen[seed] = True
+            comp = [seed]
+            # Tiny frontiers (the common case when carving shatters the
+            # graph into many small components) stay in Python — a
+            # handful of scalar reads beats six array ops; a frontier
+            # that grows past the threshold switches to vectorized
+            # expansion for the rest of its component.
+            frontier_list = [seed]
+            while frontier_list:
+                if len(frontier_list) > 32:
+                    frontier = np.asarray(frontier_list, dtype=np.int64)
+                    while frontier.size:
+                        neigh = self._neighbors_of(frontier)
+                        neigh = neigh[~seen[neigh]]
+                        if neigh.size == 0:
+                            break
+                        frontier = np.unique(neigh)
+                        seen[frontier] = True
+                        comp.extend(frontier.tolist())
+                    break
+                nxt: List[int] = []
+                for v in frontier_list:
+                    for u in self.indices[
+                        self.indptr[v] : self.indptr[v + 1]
+                    ].tolist():
+                        if not seen[u]:
+                            seen[u] = True
+                            nxt.append(u)
+                            comp.append(u)
+                frontier_list = nxt
+            components.append(set(comp))
+        return components
+
+    def weak_diameter(self, subset: Iterable[int]) -> float:
+        """``max_{u,v in subset} dist_G(u, v)`` in the full graph."""
+        vs = sorted(set(subset))
+        if len(vs) <= 1:
+            return 0
+        dist = self.distances_from(vs)[:, vs]
+        if (dist < 0).any():
+            return float("inf")
+        return float(dist.max())
+
+    # ------------------------------------------------------------------
+    # Elkin–Neiman communication core
+    # ------------------------------------------------------------------
+    def top2_shifted_flood(
+        self,
+        shifts: Sequence[float],
+        within: Optional[Iterable[int]] = None,
+    ) -> Tuple[np.ndarray, ...]:
+        """Top-2 shifted-flood records per vertex, as six arrays.
+
+        For every vertex ``v`` computes the two best ``(value, source)``
+        pairs of ``m_u(v) = T_u − dist(u, v)`` over sources ``u`` whose
+        token survives the −1 propagation cutoff, with ties broken
+        toward the larger source id — exactly the ``keep=2`` result of
+        :func:`repro.decomp.shifts.shifted_flood`.  Returns
+        ``(val1, src1, dist1, val2, src2, dist2)``; missing records are
+        marked by source −1.
+
+        Implementation: synchronous *delta* propagation.  Only vertices
+        whose top-2 changed in the previous round emit their records
+        (decremented by one hop) to their neighbors; candidates are
+        reduced per destination to their best two distinct sources with
+        one lexsort and merged into the running state with elementwise
+        comparisons.  Per-round work is proportional to the edges
+        incident to the active wavefront — the vectorized analogue of
+        the heap flood's pruning — and the state is monotone, so the
+        iteration stabilizes within ``⌊max T⌋ + 2`` rounds (the maximum
+        token range).
+        """
+        shifts_arr = np.asarray(shifts, dtype=np.float64)
+        require(len(shifts_arr) == self.n, "need one shift per vertex")
+        mask = self._allowed_mask(within)
+        neg = -np.inf
+        b1v = np.full(self.n, neg)
+        b1s = np.full(self.n, -1, dtype=np.int64)
+        b1d = np.zeros(self.n, dtype=np.int64)
+        b2v = np.full(self.n, neg)
+        b2s = np.full(self.n, -1, dtype=np.int64)
+        b2d = np.zeros(self.n, dtype=np.int64)
+        if mask is None:
+            alive = np.arange(self.n, dtype=np.int64)
+        else:
+            alive = np.nonzero(mask)[0]
+        b1v[alive] = shifts_arr[alive]
+        b1s[alive] = alive
+        if alive.size == 0:
+            return b1v, b1s, b1d, b2v, b2s, b2d
+        max_rounds = int(math.floor(float(shifts_arr[alive].max()))) + 3
+        changed = alive
+        for _ in range(max_rounds):
+            if changed.size == 0:
+                break
+            dst = self._neighbors_of(changed)
+            emit = np.repeat(changed, self.degrees[changed])
+            if mask is not None:
+                keep = mask[dst]
+                dst, emit = dst[keep], emit[keep]
+            cand_v = np.concatenate((b1v[emit] - 1.0, b2v[emit] - 1.0))
+            cand_s = np.concatenate((b1s[emit], b2s[emit]))
+            cand_d = np.concatenate((b1d[emit] + 1, b2d[emit] + 1))
+            seg = np.concatenate((dst, dst))
+            ok = (cand_v >= _CUTOFF) & (cand_s >= 0)
+            cand_v, cand_s, cand_d, seg = cand_v[ok], cand_s[ok], cand_d[ok], seg[ok]
+            if seg.size == 0:
+                break
+            order = np.lexsort((-cand_s, -cand_v, seg))
+            cand_v, cand_s, cand_d, seg = (
+                cand_v[order],
+                cand_s[order],
+                cand_d[order],
+                seg[order],
+            )
+            # Reduce to each destination's best and best-distinct-source
+            # candidate (sound: anything below those two can never enter
+            # a distinct-source top-2, see the shifts-module argument).
+            first = np.ones(len(seg), dtype=bool)
+            first[1:] = seg[1:] != seg[:-1]
+            dests = seg[first]
+            c1 = (cand_v[first], cand_s[first], cand_d[first])
+            seg_ids = np.cumsum(first) - 1
+            distinct = cand_s != c1[1][seg_ids]
+            seg2 = seg[distinct]
+            second = np.ones(len(seg2), dtype=bool)
+            second[1:] = seg2[1:] != seg2[:-1]
+            c2v = np.full(len(dests), neg)
+            c2s = np.full(len(dests), -1, dtype=np.int64)
+            c2d = np.zeros(len(dests), dtype=np.int64)
+            slot = np.searchsorted(dests, seg2[second])
+            c2v[slot] = cand_v[distinct][second]
+            c2s[slot] = cand_s[distinct][second]
+            c2d[slot] = cand_d[distinct][second]
+            old = (b1v[dests], b1s[dests], b2v[dests], b2s[dests])
+            s1, s2 = _merge_top2_candidate(
+                (b1v[dests], b1s[dests], b1d[dests]),
+                (b2v[dests], b2s[dests], b2d[dests]),
+                c1,
+            )
+            s1, s2 = _merge_top2_candidate(s1, s2, (c2v, c2s, c2d))
+            delta = (
+                (s1[1] != old[1])
+                | (s1[0] != old[0])
+                | (s2[1] != old[3])
+                | (s2[0] != old[2])
+            )
+            b1v[dests], b1s[dests], b1d[dests] = s1
+            b2v[dests], b2s[dests], b2d[dests] = s2
+            changed = dests[delta]
+        return b1v, b1s, b1d, b2v, b2s, b2d

@@ -41,11 +41,12 @@ class Graph:
         edges are collapsed.
     """
 
-    __slots__ = ("n", "_adj", "_edges", "_frozen_edge_set")
+    __slots__ = ("n", "_adj", "_edges", "_frozen_edge_set", "_csr")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         require(n >= 0, f"n must be non-negative, got {n}")
         self.n = n
+        self._csr = None
         adj: List[Set[int]] = [set() for _ in range(n)]
         edge_set: Set[Tuple[int, int]] = set()
         for u, v in edges:
@@ -90,6 +91,18 @@ class Graph:
     def has_edge(self, u: int, v: int) -> bool:
         a, b = (u, v) if u < v else (v, u)
         return (a, b) in self._frozen_edge_set
+
+    def csr(self):
+        """The cached :class:`~repro.graphs.csr.CsrGraph` view.
+
+        Built lazily on first use; the graph is immutable, so the CSR
+        arrays stay valid for its lifetime.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import CsrGraph
+
+            self._csr = CsrGraph(self)
+        return self._csr
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Graph(n={self.n}, m={self.m})"
@@ -181,10 +194,20 @@ class Graph:
     # Components and subgraphs
     # ------------------------------------------------------------------
     def connected_components(
-        self, within: Optional[Iterable[int]] = None
+        self, within: Optional[Iterable[int]] = None, backend: str = "python"
     ) -> List[Set[int]]:
         """Connected components, optionally of the subgraph induced by
-        ``within`` (components computed using only edges inside it)."""
+        ``within`` (components computed using only edges inside it).
+
+        ``backend="csr"`` delegates to the batched numpy kernel
+        (:meth:`~repro.graphs.csr.CsrGraph.connected_components`);
+        outputs are identical, including discovery order.
+        """
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            return self.csr().connected_components(within=within)
         if within is None:
             allowed: Optional[Set[int]] = None
             universe: Iterable[int] = range(self.n)
@@ -238,13 +261,20 @@ class Graph:
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
-    def power(self, k: int) -> "Graph":
+    def power(self, k: int, backend: str = "python") -> "Graph":
         """The k-th power graph ``G^k``: edge when ``1 <= dist <= k``.
 
         Used by the GKM17 baseline (network decomposition of ``G^{2k}``)
-        and by the Section 1.6 blackbox construction.
+        and by the Section 1.6 blackbox construction.  ``backend="csr"``
+        computes reachability for all vertices at once via the batched
+        kernel; the result is identical.
         """
         require(k >= 1, f"power k must be >= 1, got {k}")
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            return self.csr().power(k)
         edges: List[Tuple[int, int]] = []
         for v in range(self.n):
             for u, d in self.bfs_distances([v], k).items():
@@ -252,9 +282,14 @@ class Graph:
                     edges.append((v, u))
         return Graph(self.n, edges)
 
-    def weak_diameter(self, subset: Iterable[int]) -> float:
+    def weak_diameter(self, subset: Iterable[int], backend: str = "python") -> float:
         """Weak diameter: ``max_{u,v in subset} dist_G(u, v)`` measured in
         the *full* graph (Definition 1.4)."""
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            return self.csr().weak_diameter(subset)
         vs = sorted(set(subset))
         if len(vs) <= 1:
             return 0
@@ -340,20 +375,59 @@ class Graph:
     def from_networkx(cls, nxg) -> "Graph":
         """Build from a networkx graph with integer-convertible labels.
 
-        Non-integer labels are relabelled by sorted order.
+        Integer-convertible labels are relabelled in *numeric* order
+        (``2 < 10 < 30``, not the lexicographic ``"10" < "2" < "30"``),
+        so a path ``2–10–30`` imports as the path ``0–1–2``; labels
+        ``0..n-1`` map to themselves.  Other labels are relabelled by
+        ``repr`` order.
         """
         nodes = list(nxg.nodes())
         try:
-            labels = sorted(int(v) for v in nodes)
-            direct = labels == list(range(len(nodes)))
+            numeric = sorted(nodes, key=lambda v: (int(v), repr(v)))
         except (TypeError, ValueError):
-            direct = False
-        if direct:
+            numeric = None
+        if numeric is not None and [int(v) for v in numeric] == list(
+            range(len(nodes))
+        ):
             mapping = {v: int(v) for v in nodes}
+        elif numeric is not None:
+            mapping = {v: i for i, v in enumerate(numeric)}
         else:
             mapping = {v: i for i, v in enumerate(sorted(nodes, key=repr))}
         edges = [(mapping[u], mapping[v]) for u, v in nxg.edges()]
         return cls(len(nodes), edges)
+
+    @classmethod
+    def _from_sorted_edge_arrays(cls, n: int, us, vs) -> "Graph":
+        """Trusted bulk constructor used by the CSR kernels.
+
+        ``us``/``vs`` are numpy int arrays that must already be
+        validated: in range, self-loop-free, deduplicated, ``us < vs``
+        elementwise, and lexicographically sorted.  Skips the per-edge
+        Python loop of ``__init__`` (the dominant cost when kernels
+        emit tens of thousands of edges at once).
+        """
+        import numpy as np
+
+        graph = object.__new__(cls)
+        graph.n = n
+        graph._csr = None
+        edges = list(zip(us.tolist(), vs.tolist()))
+        graph._edges = tuple(edges)
+        graph._frozen_edge_set = frozenset(edges)
+        if n == 0:
+            graph._adj = ()
+            return graph
+        heads = np.concatenate((us, vs))
+        tails = np.concatenate((vs, us))
+        order = np.lexsort((tails, heads))
+        heads, tails = heads[order], tails[order]
+        counts = np.bincount(heads, minlength=n) if len(heads) else np.zeros(n, dtype=np.int64)
+        splits = np.cumsum(counts)[:-1]
+        graph._adj = tuple(
+            tuple(part.tolist()) for part in np.split(tails, splits)
+        )
+        return graph
 
     @classmethod
     def from_edges(cls, edges: Sequence[Tuple[int, int]]) -> "Graph":

@@ -91,11 +91,16 @@ def run_synchronous(
         Record the maximum message size (slower; off by default).
 
     The engine terminates as soon as every node has halted and no
-    messageses are in flight.
+    messages are in flight.
     """
     n = graph.n
     rngs = spawn_rngs(seed, n)
     if ids is not None:
+        require(
+            not anonymous,
+            "ids were supplied but anonymous=True would silently ignore "
+            "them; pass anonymous=False (or drop ids)",
+        )
         require(len(ids) == n, "ids must have one entry per vertex")
         require(len(set(ids)) == n, "ids must be distinct")
     nodes: List[MessageAlgorithm] = []

@@ -123,6 +123,7 @@ def gather_ball(
     ledger: Optional[RoundLedger] = None,
     label: str = "gather",
     within: Optional[Set[int]] = None,
+    backend: str = "python",
 ) -> GatherResult:
     """Gather ``N^radius(centers)`` as BFS layers, charging the ledger.
 
@@ -131,8 +132,26 @@ def gather_ball(
     ``radius`` nominal rounds and ``depth_reached`` effective rounds;
     callers composing many simultaneous gathers should instead charge
     once via :meth:`RoundLedger.merge_parallel` and pass ``ledger=None``.
+
+    ``backend="csr"`` runs the BFS on the numpy CSR kernel
+    (:meth:`~repro.graphs.csr.CsrGraph.bfs_distances`); ``within`` may
+    then also be a precomputed boolean mask, letting carving drivers
+    amortize the set-to-mask conversion across all carves of one
+    residual snapshot.  The layers produced are identical.
     """
     require(radius >= 0, f"radius must be >= 0, got {radius}")
+    if backend != "python":
+        from repro.graphs.csr import check_backend
+
+        check_backend(backend)
+        return _gather_ball_csr(graph, centers, radius, ledger, label, within)
+    # A numpy mask in the python path would be silently misread by the
+    # elementwise `in` below — near-empty gathers, no error.  Fail loud.
+    require(
+        not hasattr(within, "dtype"),
+        "a boolean residual mask requires backend='csr'; pass a vertex "
+        "set to the python backend",
+    )
     from collections import deque
 
     allowed = within
@@ -159,6 +178,31 @@ def gather_ball(
     depth = max(dist.values(), default=0)
     layers: List[Set[int]] = [set() for _ in range(depth + 1)]
     for v, d in dist.items():
+        layers[d].add(v)
+    if ledger is not None:
+        ledger.charge(label, radius, depth)
+    return GatherResult(
+        layers=tuple(frozenset(layer) for layer in layers),
+        depth_reached=depth,
+    )
+
+
+def _gather_ball_csr(
+    graph: Graph,
+    centers: Iterable[int],
+    radius: int,
+    ledger: Optional[RoundLedger],
+    label: str,
+    within,
+) -> GatherResult:
+    """CSR-backed gather: one vectorized BFS, then layers from distances."""
+    import numpy as np
+
+    dist = graph.csr().bfs_distances(centers, radius=radius, within=within)
+    reached = np.nonzero(dist >= 0)[0]
+    depth = int(dist[reached].max()) if reached.size else 0
+    layers: List[Set[int]] = [set() for _ in range(depth + 1)]
+    for v, d in zip(reached.tolist(), dist[reached].tolist()):
         layers[d].add(v)
     if ledger is not None:
         ledger.charge(label, radius, depth)

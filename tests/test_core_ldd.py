@@ -131,3 +131,37 @@ class TestProfiles:
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="profile"):
             low_diameter_decomposition(cycle_graph(10), 0.3, profile="magic")
+
+
+class TestTraceCountsExecutedCarves:
+    def test_stale_centers_not_counted(self):
+        """Regression: ``centers_per_iteration`` used to record the
+        sampled-center count even when a center had already been carved
+        away and its carve skipped (E12 reports overstated work)."""
+        from repro.core.ldd import _apply_carves
+        from repro.local.gather import RoundLedger
+
+        g = path_graph(8)
+        remaining = {0, 1, 2, 3, 4}  # 5..7 already carved away
+        trace = LddTrace()
+        _apply_carves(
+            g,
+            [0, 6, 7],  # one live center, two stale ones
+            (1, 2),
+            remaining,
+            set(),
+            RoundLedger(),
+            "test",
+            None,
+            trace,
+        )
+        assert trace.centers_per_iteration == [1]
+
+    @pytest.mark.parametrize("backend", ["python", "csr"])
+    def test_executed_counts_match_across_backends(self, backend):
+        g = cycle_graph(120)
+        params = LddParams.practical(0.2, 120)
+        trace = LddTrace()
+        chang_li_ldd(g, params, seed=5, trace=trace, backend=backend)
+        assert all(c >= 0 for c in trace.centers_per_iteration)
+        assert len(trace.centers_per_iteration) == params.t + 1

@@ -1,0 +1,278 @@
+"""Property-based equivalence suite: CSR kernels vs pure-Python graph ops.
+
+Every kernel in :mod:`repro.graphs.csr` must be observationally
+equivalent to its reference implementation — that equivalence is what
+licenses ``backend="csr"`` as the default execution engine for the
+Theorem 1.1 pipeline.  The suite sweeps ~100 random graphs across four
+shapes (Erdős–Rényi, grids, caterpillars, and disconnected unions) and
+checks every primitive, then runs the LDD end-to-end on both backends
+and asserts the paper guarantees (the (C1) deletion bound and the
+Lemma 3.2 weak-diameter budget) for each.
+"""
+
+import math
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import LddParams, chang_li_ldd
+from repro.decomp.shifts import sample_shifts, shifted_flood
+from repro.graphs import (
+    BACKENDS,
+    Graph,
+    caterpillar,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+)
+from repro.graphs.csr import CsrGraph, check_backend
+from repro.local.gather import gather_ball
+
+
+def _graph_pool():
+    """~100 deterministic random graphs over four structural families."""
+    pool = []
+    for seed in range(25):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 40))
+        pool.append((f"er-{seed}", erdos_renyi(n, 0.12, rng)))
+        rows = int(rng.integers(2, 7))
+        cols = int(rng.integers(2, 7))
+        pool.append((f"grid-{seed}", grid_graph(rows, cols)))
+        spine = int(rng.integers(3, 12))
+        legs = int(rng.integers(1, 4))
+        pool.append((f"caterpillar-{seed}", caterpillar(spine, legs)))
+        # Disconnected: sparse ER (isolated vertices likely) glued to a
+        # far-away cycle via a disjoint union.
+        a = erdos_renyi(int(rng.integers(5, 15)), 0.08, rng)
+        b = cycle_graph(int(rng.integers(3, 10)))
+        pool.append((f"disconnected-{seed}", a.union_disjoint(b)))
+    return pool
+
+
+POOL = _graph_pool()
+
+
+def _rng(name):
+    return np.random.default_rng(zlib.crc32(name.encode()))
+
+
+def _assert_dist_equal(graph, dist_arr, dist_dict):
+    for v in range(graph.n):
+        assert dist_arr[v] == dist_dict.get(v, -1)
+
+
+class TestKernelEquivalence:
+    def test_pool_size(self):
+        assert len(POOL) == 100
+
+    @pytest.mark.parametrize("name,graph", POOL)
+    def test_bfs_distances(self, name, graph):
+        rng = _rng(name)
+        csr = graph.csr()
+        for sources in ([0], [graph.n - 1, 0], sorted(
+            rng.choice(graph.n, size=min(3, graph.n), replace=False).tolist()
+        )):
+            _assert_dist_equal(
+                graph, csr.bfs_distances(sources), graph.bfs_distances(sources)
+            )
+            radius = int(rng.integers(0, 5))
+            _assert_dist_equal(
+                graph,
+                csr.bfs_distances(sources, radius=radius),
+                graph.bfs_distances(sources, radius=radius),
+            )
+
+    @pytest.mark.parametrize("name,graph", POOL)
+    def test_balls_and_gather_layers(self, name, graph):
+        rng = _rng(name)
+        csr = graph.csr()
+        radius = int(rng.integers(1, 6))
+        sizes, depths = csr.all_ball_sizes(radius)
+        for v in range(graph.n):
+            assert sizes[v] == len(graph.ball(v, radius))
+        # gather layers must be identical on both backends, including
+        # on a residual vertex set
+        within = set(rng.choice(graph.n, size=max(1, graph.n // 2), replace=False).tolist())
+        center = int(rng.integers(0, graph.n))
+        for kwargs in ({}, {"within": within}):
+            ref = gather_ball(graph, [center], radius, **kwargs)
+            fast = gather_ball(graph, [center], radius, backend="csr", **kwargs)
+            assert ref.layers == fast.layers
+            assert ref.depth_reached == fast.depth_reached
+        ref_full = gather_ball(graph, [center], radius)
+        assert depths[center] == ref_full.depth_reached
+
+    @pytest.mark.parametrize("name,graph", POOL[::5])
+    def test_weighted_ball_sizes(self, name, graph):
+        rng = _rng(name)
+        weights = rng.random(graph.n)
+        sizes, _ = graph.csr().all_ball_sizes(3, weights=weights)
+        for v in range(graph.n):
+            expected = sum(weights[u] for u in graph.ball(v, 3))
+            assert sizes[v] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name,graph", POOL)
+    def test_power(self, name, graph):
+        for k in (1, 2, 3):
+            fast = graph.power(k, backend="csr")
+            ref = graph.power(k)
+            assert fast == ref
+            # the trusted bulk constructor must also rebuild identical
+            # adjacency tuples, not just the edge set
+            assert fast._adj == ref._adj
+
+    @pytest.mark.parametrize("name,graph", POOL)
+    def test_connected_components(self, name, graph):
+        rng = _rng(name)
+        assert graph.connected_components(backend="csr") == graph.connected_components()
+        within = set(rng.choice(graph.n, size=max(1, graph.n // 2), replace=False).tolist())
+        assert graph.connected_components(
+            within=within, backend="csr"
+        ) == graph.connected_components(within=within)
+
+    @pytest.mark.parametrize("name,graph", POOL)
+    def test_weak_diameter(self, name, graph):
+        rng = _rng(name)
+        subset = rng.choice(graph.n, size=max(2, graph.n // 3), replace=False).tolist()
+        assert graph.weak_diameter(subset, backend="csr") == graph.weak_diameter(subset)
+
+    @pytest.mark.parametrize("name,graph", POOL[::5])
+    def test_distances_from_matrix(self, name, graph):
+        sources = list(range(0, graph.n, 3))
+        mat = graph.csr().distances_from(sources)
+        for row, s in enumerate(sources):
+            _assert_dist_equal(graph, mat[row], graph.bfs_distances([s]))
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 63, 65])
+    @pytest.mark.parametrize("name,graph", POOL[7::20])
+    def test_multi_chunk_paths(self, name, graph, chunk_size):
+        """Small chunk sizes force the lo>0 iterations of every packed
+        kernel (word-boundary packing, cross-chunk slice assignment,
+        power's cross-chunk edge dedup) that default sizing never hits
+        on test-scale graphs."""
+        csr = graph.csr()
+        sizes, depths = csr.all_ball_sizes(3, chunk_size=chunk_size)
+        ref_sizes, ref_depths = csr.all_ball_sizes(3)
+        assert sizes.tolist() == ref_sizes.tolist()
+        assert depths.tolist() == ref_depths.tolist()
+        mat = csr.distances_from(range(graph.n), chunk_size=chunk_size)
+        for s in range(0, graph.n, 5):
+            _assert_dist_equal(graph, mat[s], graph.bfs_distances([s]))
+        chunked_power = csr.power(2, chunk_size=chunk_size)
+        assert chunked_power == graph.power(2)
+        assert chunked_power._adj == graph.power(2)._adj
+
+    @pytest.mark.parametrize("name,graph", POOL[::3])
+    def test_top2_shifted_flood(self, name, graph):
+        """The EN communication core: kernel records == heap-flood records."""
+        rng = _rng(name)
+        lam = float(rng.choice([0.1, 0.5, 1.5]))
+        shifts = sample_shifts(graph.n, lam, max(graph.n, 2), seed=int(rng.integers(1 << 20)))
+        within_options = [None]
+        if graph.n > 4:
+            within_options.append(set(range(0, graph.n, 2)))
+        for within in within_options:
+            ref = shifted_flood(graph, shifts, keep=2, within=within)
+            b1v, b1s, b1d, b2v, b2s, b2d = graph.csr().top2_shifted_flood(
+                shifts, within=within
+            )
+            for v in range(graph.n):
+                recs = ref[v]
+                if recs:
+                    assert (b1v[v], b1s[v], b1d[v]) == (
+                        recs[0].value,
+                        recs[0].source,
+                        recs[0].dist,
+                    )
+                else:
+                    assert b1s[v] == -1
+                if len(recs) > 1:
+                    assert (b2v[v], b2s[v], b2d[v]) == (
+                        recs[1].value,
+                        recs[1].source,
+                        recs[1].dist,
+                    )
+                else:
+                    assert b2s[v] == -1
+
+
+class TestCsrEdgeCases:
+    def test_empty_graph(self):
+        g = Graph(0)
+        csr = g.csr()
+        sizes, depths = csr.all_ball_sizes(3)
+        assert len(sizes) == 0 and len(depths) == 0
+        assert csr.connected_components() == []
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        csr = g.csr()
+        sizes, depths = csr.all_ball_sizes(2)
+        assert sizes.tolist() == [2, 2, 1, 1]
+        assert depths.tolist() == [1, 1, 0, 0]
+        assert csr.connected_components() == [{0, 1}, {2}, {3}]
+
+    def test_unknown_backend_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(ValueError, match="backend"):
+            g.power(2, backend="gpu")
+        with pytest.raises(ValueError, match="backend"):
+            gather_ball(g, [0], 2, backend="gpu")
+        with pytest.raises(ValueError, match="backend"):
+            chang_li_ldd(g, LddParams.practical(0.3, 5), backend="gpu")
+        assert "csr" in BACKENDS and "python" in BACKENDS
+        check_backend("csr")
+
+    def test_csr_cache_reused(self):
+        g = cycle_graph(6)
+        assert g.csr() is g.csr()
+        assert isinstance(g.csr(), CsrGraph)
+
+    def test_mask_passthrough(self):
+        g = cycle_graph(8)
+        mask = np.zeros(8, dtype=bool)
+        mask[[0, 1, 2, 5]] = True
+        by_mask = g.csr().bfs_distances([0], within=mask)
+        by_set = g.csr().bfs_distances([0], within={0, 1, 2, 5})
+        assert by_mask.tolist() == by_set.tolist()
+
+
+def _diameter_budget(params: LddParams) -> float:
+    return 2 * (params.t + 2) * params.interval_length + math.ceil(
+        8 * math.log(params.ntilde) / params.phase3_lambda
+    )
+
+
+class TestLddEndToEndBothBackends:
+    """Both backends satisfy Theorem 1.1's guarantees and agree exactly."""
+
+    GRAPHS = [
+        ("cycle-150", lambda: cycle_graph(150)),
+        ("grid-12x12", lambda: grid_graph(12, 12)),
+        ("caterpillar-40x2", lambda: caterpillar(40, 2)),
+    ]
+
+    @pytest.mark.parametrize("name,make", GRAPHS)
+    def test_guarantees_and_agreement(self, name, make):
+        eps = 0.3
+        for seed in range(3):
+            results = {}
+            for backend in BACKENDS:
+                graph = make()
+                params = LddParams.practical(eps, graph.n)
+                d = chang_li_ldd(graph, params, seed=seed, backend=backend)
+                # (C1): the unclustered fraction stays below eps
+                assert len(d.deleted) <= eps * graph.n, (name, backend, seed)
+                # Lemma 3.2: every cluster within the weak-diameter budget
+                budget = _diameter_budget(params)
+                for cluster in d.clusters:
+                    assert graph.weak_diameter(cluster, backend="csr") <= budget
+                results[backend] = d
+            ref, fast = results["python"], results["csr"]
+            assert ref.deleted == fast.deleted, (name, seed)
+            assert ref.clusters == fast.clusters, (name, seed)
+            assert (
+                ref.ledger.effective_rounds == fast.ledger.effective_rounds
+            ), (name, seed)

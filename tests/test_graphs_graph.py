@@ -180,3 +180,40 @@ class TestNetworkxParity:
     def test_round_trip(self):
         g = grid_graph(4, 4)
         assert Graph.from_networkx(g.to_networkx()) == g
+
+
+class TestFromNetworkxRelabelling:
+    def test_noncontiguous_integer_labels_sort_numerically(self):
+        """Regression: labels were sorted by repr, so ``10 < 2 < 30``
+        and a path ``2-10-30`` imported with the wrong vertex in the
+        middle.  Integer labels must relabel in numeric order."""
+        nxg = nx.Graph()
+        nxg.add_edges_from([(2, 10), (10, 30)])
+        g = Graph.from_networkx(nxg)
+        # numeric order: 2 -> 0, 10 -> 1, 30 -> 2; the center is vertex 1
+        assert g.edges() == ((0, 1), (1, 2))
+        assert [g.degree(v) for v in range(3)] == [1, 2, 1]
+
+    def test_path_does_not_become_star(self):
+        """A longer path with repr-disordered labels (100 < 20 < 3 by
+        repr) keeps its path structure *and* its numeric vertex order."""
+        labels = [3, 20, 100, 1000]
+        nxg = nx.Graph()
+        nxg.add_edges_from(zip(labels, labels[1:]))
+        g = Graph.from_networkx(nxg)
+        assert g.edges() == ((0, 1), (1, 2), (2, 3))
+        assert g.to_networkx().degree(0) == 1
+
+    def test_contiguous_labels_map_to_themselves(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from([3, 1, 0, 2])
+        nxg.add_edge(3, 0)
+        g = Graph.from_networkx(nxg)
+        assert g.has_edge(0, 3)
+
+    def test_string_labels_fall_back_to_repr_order(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([("b", "a"), ("b", "c")])
+        g = Graph.from_networkx(nxg)
+        assert g.n == 3
+        assert [g.degree(v) for v in range(3)] == [1, 2, 1]

@@ -142,3 +142,20 @@ class TestEngine:
 
         run_synchronous(cycle_graph(6), Draw2, seed=5)
         assert values == values2  # same seed, same streams
+
+
+class TestIdsAnonymousContradiction:
+    def test_ids_with_anonymous_raises(self):
+        """Regression: a caller-supplied ``ids`` used to be silently
+        ignored when ``anonymous=True`` (the default)."""
+        with pytest.raises(ValueError, match="anonymous"):
+            run_synchronous(
+                cycle_graph(3), CountNeighbors, ids=[5, 6, 7]
+            )
+
+    def test_ids_with_explicit_anonymous_false_still_works(self):
+        g = cycle_graph(3)
+        result = run_synchronous(
+            g, FloodMin, anonymous=False, n_upper_bound=3, ids=[5, 6, 7]
+        )
+        assert result.outputs == [5] * 3
