@@ -10,62 +10,42 @@ execution against the c·log₂(n) CONGEST budget, as n grows — showing
 *how far* the LOCAL implementation is from CONGEST-ready (the per-token
 payload is O(log n), but token batching makes messages super-budget
 exactly when floods overlap).
+
+E13a is a thin assertion layer over the ``congest-bandwidth`` registry
+scenario (``python -m repro.exp run congest-bandwidth`` runs the same
+sweep sharded and persisted).
 """
 
-import pytest
-
 from conftest import claim
-from repro.decomp import elkin_neiman_message_ldd, sample_shifts
-from repro.graphs import cycle_graph, grid_graph
+from repro.exp import execute_trial, get, run_scenario
+from repro.graphs import grid_graph
 from repro.local import audit_congest
 from repro.local.algorithms import eccentricities_distributed
 from repro.local.engine import run_synchronous
 from repro.util.tables import Table
 
-
-def _audit_en(n: int, lam: float, seed: int):
-    """Run message-passing EN with bit metering and audit it."""
-    import math
-
-    from repro.decomp.elkin_neiman import _EnNode
-    from repro.decomp.shifts import shift_cap
-
-    graph = cycle_graph(n)
-    shifts = sample_shifts(n, lam, n, seed=seed)
-    deadline = int(math.floor(shift_cap(lam, n))) + 2
-    counter = iter(range(n))
-
-    def factory():
-        v = next(counter)
-        return _EnNode(v, shifts[v], deadline)
-
-    result = run_synchronous(
-        graph,
-        factory,
-        seed=seed,
-        max_rounds=deadline + 2,
-        anonymous=False,
-        measure_bits=True,
-    )
-    return audit_congest(result, n)
+SCENARIO = get("congest-bandwidth")
 
 
 def test_e13_en_message_sizes(benchmark):
-    lam = 0.4
+    result = run_scenario(SCENARIO, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["n", "max message bits", "CONGEST budget", "overhead factor"],
         title="E13a: Elkin-Neiman message sizes vs the CONGEST budget",
     )
     overheads = []
-    for n in (16, 32, 64, 128):
-        audit = _audit_en(n, lam, seed=1)
-        overheads.append(audit.overhead_factor)
+    for rows in sorted(
+        result.by_params().values(), key=lambda rows: rows[0]["params"]["n"]
+    ):
+        worst = max(r["metrics"]["overhead_factor"] for r in rows)
+        overheads.append(worst)
         table.add_row(
             [
-                n,
-                audit.max_message_bits,
-                audit.budget_bits,
-                f"{audit.overhead_factor:.2f}",
+                rows[0]["params"]["n"],
+                max(r["metrics"]["max_message_bits"] for r in rows),
+                rows[0]["metrics"]["budget_bits"],
+                f"{worst:.2f}",
             ]
         )
     table.print()
@@ -78,7 +58,15 @@ def test_e13_en_message_sizes(benchmark):
     )
     # Overheads stay modest (tokens, not topology dumps) but exceed 0.
     assert all(o > 0 for o in overheads)
-    benchmark(lambda: _audit_en(32, lam, seed=2))
+    def run_one_trial():
+        row = execute_trial(
+            ("congest-bandwidth", {"n": 32, "lam": 0.4}, 0, 2, None, "bench")
+        )
+        # execute_trial never raises — surface a regression instead of
+        # silently timing the fast error path.
+        assert row["status"] == "ok", row["error"]
+
+    benchmark(run_one_trial)
 
 
 def test_e13_local_only_algorithm_blows_budget(benchmark):

@@ -7,21 +7,22 @@ output — the Algorithm 2 ball-size estimation collapses from n
 single-source gathers into one packed frontier expansion.
 
 Measured: before/after wall-clock for the LDD end-to-end, the ``n_v``
-estimation in isolation, ``power(k)`` and the Elkin–Neiman flood; the
-results are emitted as a JSON blob (machine-readable history for
-CHANGES.md speedup tables).
+estimation in isolation and the Elkin–Neiman flood; the results are
+emitted as a JSON blob (machine-readable history for CHANGES.md
+speedup tables).
+
+The timing loop itself lives in the ``kernel-speed`` registry scenario
+— this bench (and the CI smoke) executes it through the
+:mod:`repro.exp` runner, so ``python -m repro.exp run kernel-speed``
+produces the same metrics persisted.
 """
 
 import json
-import time
-
-import numpy as np
 
 from conftest import claim
 from repro.core import low_diameter_decomposition
-from repro.decomp.shifts import sample_shifts, shifted_flood
+from repro.exp import get, run_scenario
 from repro.graphs import grid_graph
-from repro.local.gather import gather_ball
 from repro.util.tables import Table
 
 EPS = 0.3
@@ -33,87 +34,42 @@ GRID = (40, 40)
 LDD_SPEEDUP_FLOOR = 2.0
 
 
-def _best_of(repeats, fn):
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def test_e15_kernel_speed(benchmark):
-    rows, cols = GRID
-    timings = {}
-
-    # -- LDD end-to-end, both backends (fresh graph per run: the CSR
-    #    cache would otherwise hide the one-time construction cost).
-    for backend in ("python", "csr"):
-        timings[f"ldd-{backend}"] = _best_of(
-            2 if backend == "python" else 3,
-            lambda: low_diameter_decomposition(
-                grid_graph(rows, cols), eps=EPS, seed=0, backend=backend
-            ),
-        )
-
-    # -- The isolated hot path: n_v estimation at radius 4tR.
-    g = grid_graph(rows, cols)
-    radius = 4 * 4 * 25  # t=4, R=25 for eps=0.3 on n=1600 (practical)
-
-    def estimate_python():
-        for v in range(g.n):
-            gather_ball(g, [v], radius)
-
-    timings["estimate-nv-python"] = _best_of(1, estimate_python)
-    timings["estimate-nv-csr"] = _best_of(
-        3, lambda: g.csr().all_ball_sizes(radius)
-    )
-
-    # -- power(k): batched reachability + trusted bulk construction.
-    timings["power4-python"] = _best_of(2, lambda: g.power(4))
-    timings["power4-csr"] = _best_of(3, lambda: g.power(4, backend="csr"))
-
-    # -- Elkin-Neiman flood at the phase-3 parameterization.
-    shifts = sample_shifts(g.n, EPS / 10.0, g.n, seed=1)
-    timings["en-flood-python"] = _best_of(
-        3, lambda: shifted_flood(g, shifts, keep=2)
-    )
-    timings["en-flood-csr"] = _best_of(
-        3, lambda: g.csr().top2_shifted_flood(shifts)
-    )
+    result = run_scenario(get("kernel-speed"), workers=0)
+    assert result.statuses == {"ok": 1}
+    metrics = result.rows[0]["metrics"]
 
     pairs = [
-        ("ldd (end-to-end)", "ldd-python", "ldd-csr"),
-        ("estimate n_v", "estimate-nv-python", "estimate-nv-csr"),
-        ("power(4)", "power4-python", "power4-csr"),
-        ("EN flood", "en-flood-python", "en-flood-csr"),
+        ("ldd (end-to-end)", "ldd_python_s", "ldd_csr_s"),
+        ("estimate n_v", "estimate_nv_python_s", "estimate_nv_csr_s"),
+        ("power(4)", "power4_python_s", "power4_csr_s"),
+        ("EN flood", "en_flood_python_s", "en_flood_csr_s"),
     ]
+    rows, cols = GRID
     table = Table(
         ["kernel", "python (s)", "csr (s)", "speedup"],
         title=f"E15: CSR kernel speed on the {rows}x{cols} grid (eps={EPS})",
     )
     speedups = {}
     for label, before, after in pairs:
-        ratio = timings[before] / max(timings[after], 1e-12)
+        ratio = metrics[before] / max(metrics[after], 1e-12)
         speedups[label] = ratio
         table.add_row(
-            [label, f"{timings[before]:.4f}", f"{timings[after]:.4f}", f"{ratio:.1f}x"]
+            [label, f"{metrics[before]:.4f}", f"{metrics[after]:.4f}", f"{ratio:.1f}x"]
         )
     table.print()
-    print("E15-JSON:", json.dumps({"timings": timings, "speedups": speedups}))
+    print("E15-JSON:", json.dumps({"metrics": metrics, "speedups": speedups}))
 
     # Identical outputs (spot check; the full proof is the equivalence
     # suite in tests/test_graphs_csr.py).
-    a = low_diameter_decomposition(grid_graph(rows, cols), eps=EPS, seed=0, backend="python")
-    b = low_diameter_decomposition(grid_graph(rows, cols), eps=EPS, seed=0, backend="csr")
-    assert a.deleted == b.deleted and a.clusters == b.clusters
+    assert metrics["backends_identical"]
 
-    assert speedups["ldd (end-to-end)"] >= LDD_SPEEDUP_FLOOR
+    assert metrics["ldd_speedup"] >= LDD_SPEEDUP_FLOOR
     claim(
         "CSR backend >= 5x on the 40x40 grid LDD with identical output",
-        f"measured {speedups['ldd (end-to-end)']:.1f}x end-to-end "
-        f"({speedups['estimate n_v']:.0f}x on the n_v estimation alone), "
-        "decompositions bit-identical across backends",
+        f"measured {metrics['ldd_speedup']:.1f}x end-to-end "
+        f"({metrics['estimate_nv_speedup']:.0f}x on the n_v estimation "
+        "alone), decompositions bit-identical across backends",
     )
     benchmark(
         lambda: low_diameter_decomposition(

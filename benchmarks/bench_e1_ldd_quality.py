@@ -8,48 +8,25 @@ Paper claim: an (ε, O(log n/ε)) low-diameter decomposition whose bound
 Measured: across graph families and seeds, the *maximum* unclustered
 fraction stays below ε (not only the mean), and every cluster's weak
 diameter stays within the Lemma 3.2 budget.
+
+Thin assertion layer over the ``ldd-quality`` registry scenario — the
+trial loop, seeding and metrics live in :mod:`repro.exp.scenarios`;
+``python -m repro.exp run ldd-quality`` runs the same sweep sharded and
+persisted.
 """
 
-import math
-
-import numpy as np
-import pytest
-
 from conftest import claim
-from repro.core import LddParams, chang_li_ldd
-from repro.decomp.quality import run_ldd_trials
-from repro.graphs import (
-    caterpillar,
-    cycle_graph,
-    grid_graph,
-    random_regular,
-    random_tree,
-)
+from repro.core import low_diameter_decomposition
+from repro.exp import get, run_scenario
+from repro.graphs import grid_graph
 from repro.util.tables import Table
 
-FAMILIES = [
-    # Small-diameter regime: radii cover the graph, decomposition is a
-    # single cluster, the guarantee holds trivially.
-    ("grid-10x10", lambda rng: grid_graph(10, 10)),
-    ("random-3-regular-100", lambda rng: random_regular(100, 3, rng)),
-    ("random-tree-100", lambda rng: random_tree(100, rng)),
-    # Large-diameter regime: Phase-1 carving is active, deletions are
-    # nonzero and must stay below eps*n.
-    ("cycle-600", lambda rng: cycle_graph(600)),
-    ("caterpillar-150x2", lambda rng: caterpillar(150, 2)),
-]
-EPSILONS = [0.4, 0.3, 0.2]
-TRIALS = 8
-
-
-def _diameter_budget(params: LddParams) -> float:
-    return 2 * (params.t + 2) * params.interval_length + math.ceil(
-        8 * math.log(params.ntilde) / params.phase3_lambda
-    )
+SCENARIO = get("ldd-quality")
 
 
 def test_e1_ldd_quality(benchmark):
-    rng = np.random.default_rng(1)
+    result = run_scenario(SCENARIO, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         [
             "family",
@@ -62,41 +39,34 @@ def test_e1_ldd_quality(benchmark):
         ],
         title="E1: Theorem 1.1 LDD quality (max over seeds = the w.h.p. claim)",
     )
-    worst_violation = 0.0
-    for name, make in FAMILIES:
-        graph = make(rng)
-        for eps in EPSILONS:
-            params = LddParams.practical(eps, graph.n)
-            series = run_ldd_trials(
-                graph,
-                lambda s: chang_li_ldd(graph, params, seed=s),
-                trials=TRIALS,
-            )
-            sample = chang_li_ldd(graph, params, seed=0)
-            table.add_row(
-                [
-                    name,
-                    eps,
-                    f"{series.mean_fraction:.3f}",
-                    f"{series.max_fraction:.3f}",
-                    f"{series.max_diameter:.0f}",
-                    f"{_diameter_budget(params):.0f}",
-                    sample.ledger.effective_rounds,
-                ]
-            )
-            worst_violation = max(
-                worst_violation, series.max_fraction - eps
-            )
-            assert series.max_fraction <= eps, (name, eps)
-            assert series.max_diameter <= _diameter_budget(params), (name, eps)
+    worst_violation = -1.0
+    for rows in result.by_params().values():
+        params = rows[0]["params"]
+        fractions = [r["metrics"]["unclustered_fraction"] for r in rows]
+        diameters = [r["metrics"]["max_weak_diameter"] for r in rows]
+        budget = rows[0]["metrics"]["diameter_budget"]
+        table.add_row(
+            [
+                params["family"],
+                params["eps"],
+                f"{sum(fractions) / len(fractions):.3f}",
+                f"{max(fractions):.3f}",
+                f"{max(diameters):.0f}",
+                f"{budget:.0f}",
+                rows[0]["metrics"]["effective_rounds"],
+            ]
+        )
+        worst_violation = max(worst_violation, max(fractions) - params["eps"])
+        assert all(r["metrics"]["within_eps"] for r in rows), params
+        assert all(r["metrics"]["within_diameter_budget"] for r in rows), params
     table.print()
     claim(
         "unclustered <= eps*n with probability 1-1/poly(n); "
         "weak diameter O(log^2(1/eps) log n/eps)",
-        f"max unclustered fraction over {TRIALS} seeds never exceeded eps "
-        f"(worst margin {worst_violation:+.3f}); all diameters within budget",
+        f"max unclustered fraction over {SCENARIO.trials} seeds never "
+        f"exceeded eps (worst margin {worst_violation:+.3f}); all diameters "
+        "within budget",
     )
     # Timing component: one representative decomposition.
     graph = grid_graph(10, 10)
-    params = LddParams.practical(0.3, graph.n)
-    benchmark(lambda: chang_li_ldd(graph, params, seed=1))
+    benchmark(lambda: low_diameter_decomposition(graph, eps=0.3, seed=1))

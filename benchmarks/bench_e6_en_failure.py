@@ -8,27 +8,26 @@ same family.
 
 Measured: catastrophic-failure frequency vs ε for EN (tracking the
 analytic event frequency) and the max unclustered fraction for CL.
+
+Thin assertion layer over the ``en-failure`` registry scenario
+(``python -m repro.exp run en-failure`` runs the same sweep sharded).
 """
 
 import math
 
-import numpy as np
-import pytest
-
 from conftest import claim
-from repro.analysis import empirical_probability, wilson_interval
-from repro.core import low_diameter_decomposition
+from repro.analysis import empirical_probability
 from repro.decomp import elkin_neiman_ldd, sample_shifts
-from repro.graphs import clique_family, en_failure_event
+from repro.exp import get, run_scenario
+from repro.graphs import clique_family
 from repro.util.tables import Table
 
-N = 32
-TRIALS = 100
-EPSILONS = [0.4, 0.3, 0.2, 0.1]
+SCENARIO = get("en-failure")
 
 
 def test_e6_en_catastrophe_rate(benchmark):
-    graph = clique_family(N)
+    result = run_scenario(SCENARIO, workers=0)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         [
             "eps",
@@ -38,29 +37,19 @@ def test_e6_en_catastrophe_rate(benchmark):
             "theory 1-e^-eps",
             "CL max deleted frac",
         ],
-        title=f"E6: Claim C.1 on K_{N} ({TRIALS} seeds per eps)",
+        title=f"E6: Claim C.1 on K_32 ({SCENARIO.trials} seeds per eps)",
     )
-    for eps in EPSILONS:
-        catastrophes = []
-        events = []
-        for seed in range(TRIALS):
-            shifts = sample_shifts(N, eps, N, seed=seed)
-            d = elkin_neiman_ldd(graph, eps, shifts=shifts)
-            collapsed = len(d.deleted) >= N - 1
-            catastrophes.append(collapsed)
-            fired = en_failure_event(graph, list(shifts))
-            events.append(fired)
-            if fired:
-                assert collapsed, "analytic event must force the collapse"
+    for rows in result.by_params().values():
+        params = rows[0]["params"]
+        eps = params["eps"]
+        catastrophes = [r["metrics"]["collapsed"] for r in rows]
+        events = [r["metrics"]["event"] for r in rows]
+        assert all(
+            r["metrics"]["event_implies_collapse"] for r in rows
+        ), "analytic event must force the collapse"
         p_cat, ci = empirical_probability(catastrophes)
         p_evt, _ = empirical_probability(events)
-        cl_worst = max(
-            len(
-                low_diameter_decomposition(graph, eps=eps, seed=s).deleted
-            )
-            / N
-            for s in range(15)
-        )
+        cl_worst = max(r["metrics"]["cl_fraction"] for r in rows)
         theory = 1 - math.exp(-eps)
         table.add_row(
             [
@@ -74,7 +63,7 @@ def test_e6_en_catastrophe_rate(benchmark):
         )
         # Ω(eps): within a constant of the analytic rate, and CL holds.
         assert p_cat >= 0.4 * theory, eps
-        assert cl_worst <= eps, eps
+        assert all(r["metrics"]["cl_within_eps"] for r in rows), eps
     table.print()
     claim(
         "EN deletes >= n-1 vertices w.p. Omega(eps) on cliques "
@@ -82,21 +71,21 @@ def test_e6_en_catastrophe_rate(benchmark):
         "EN catastrophe rate tracks 1-e^-eps across eps; CL max fraction "
         "never exceeded eps",
     )
-    shifts = sample_shifts(N, 0.2, N, seed=0)
+    graph = clique_family(32)
+    shifts = sample_shifts(32, 0.2, 32, seed=0)
     benchmark(lambda: elkin_neiman_ldd(graph, 0.2, shifts=shifts))
 
 
 def test_e6_failure_scales_with_eps(benchmark):
     """The failure probability is monotone in eps (Ω(eps) scaling)."""
-    graph = clique_family(N)
+    result = run_scenario(
+        SCENARIO, workers=0, overrides={"eps": [0.1, 0.2, 0.4]}, root_seed=1000
+    )
     rates = []
-    for eps in (0.1, 0.2, 0.4):
-        hits = 0
-        for seed in range(TRIALS):
-            shifts = sample_shifts(N, eps, N, seed=1000 + seed)
-            if en_failure_event(graph, list(shifts)):
-                hits += 1
-        rates.append(hits / TRIALS)
+    for rows in result.by_params().values():
+        hits = sum(1 for r in rows if r["metrics"]["event"])
+        rates.append((rows[0]["params"]["eps"], hits / len(rows)))
+    rates = [rate for _, rate in sorted(rates)]
     print(f"\n  event rate at eps=0.1/0.2/0.4: {rates}")
-    assert rates[0] < rates[2]
-    benchmark(lambda: sample_shifts(N, 0.2, N, seed=0))
+    assert rates[0] < rates[-1]
+    benchmark(lambda: sample_shifts(32, 0.2, 32, seed=0))

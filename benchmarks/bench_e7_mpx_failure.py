@@ -7,29 +7,29 @@ fraction.  P[E] = Ω(ε).
 
 Measured: event frequency and heavy-cut frequency vs ε; the conditional
 implication E ⇒ all bipartite edges cut, checked per trial.
+
+Thin assertion layer over the ``mpx-failure`` registry scenario
+(``python -m repro.exp run mpx-failure`` runs the same sweep sharded).
 """
 
 import math
 
-import numpy as np
-import pytest
-
 from conftest import claim
 from repro.analysis import empirical_probability
 from repro.decomp import mpx_decomposition, sample_shifts
-from repro.graphs import mpx_bad_family, mpx_failure_event
+from repro.exp import get, run_scenario
+from repro.graphs import mpx_bad_family
 from repro.util.tables import Table
 
 T_PARAM = 8
-TRIALS = 100
-LAMBDAS = [0.4, 0.3, 0.2, 0.1]
+SCENARIO = get("mpx-failure")
 
 
 def test_e7_mpx_heavy_cut_rate(benchmark):
     bad = mpx_bad_family(T_PARAM)
     graph = bad.graph
-    bip = {tuple(sorted(e)) for e in bad.bipartite_edges}
-    heavy_threshold = len(bip) / graph.m  # the 1 - O(1/n) fraction
+    result = run_scenario(SCENARIO, workers=0)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         [
             "lam",
@@ -40,23 +40,17 @@ def test_e7_mpx_heavy_cut_rate(benchmark):
         ],
         title=(
             f"E7: Claim C.2 on the bad family (t={T_PARAM}, "
-            f"n={graph.n}, m={graph.m}; {TRIALS} seeds per lam)"
+            f"n={graph.n}, m={graph.m}; {SCENARIO.trials} seeds per lam)"
         ),
     )
-    for lam in LAMBDAS:
-        events = []
-        heavies = []
-        fractions = []
-        for seed in range(TRIALS):
-            shifts = sample_shifts(graph.n, lam, graph.n, seed=seed)
-            d = mpx_decomposition(graph, lam, shifts=shifts)
-            cut = {tuple(sorted(e)) for e in d.cut_edges}
-            fired = mpx_failure_event(bad, list(shifts))
-            events.append(fired)
-            if fired:
-                assert bip <= cut, "event E must cut all bipartite edges"
-            heavies.append(len(cut) >= len(bip))
-            fractions.append(d.cut_fraction(graph))
+    for rows in result.by_params().values():
+        lam = rows[0]["params"]["lam"]
+        events = [r["metrics"]["event"] for r in rows]
+        heavies = [r["metrics"]["heavy_cut"] for r in rows]
+        fractions = [r["metrics"]["cut_fraction"] for r in rows]
+        assert all(
+            r["metrics"]["event_implies_bipartite_cut"] for r in rows
+        ), "event E must cut all bipartite edges"
         p_evt, _ = empirical_probability(events)
         p_heavy, ci = empirical_probability(heavies)
         table.add_row(
@@ -65,7 +59,7 @@ def test_e7_mpx_heavy_cut_rate(benchmark):
                 f"{p_evt:.3f}",
                 f"{p_heavy:.3f}",
                 f"[{ci[0]:.3f},{ci[1]:.3f}]",
-                f"{sum(fractions) / TRIALS:.3f}",
+                f"{sum(fractions) / len(fractions):.3f}",
             ]
         )
         # Heavy cuts occur at least as often as the analytic event.

@@ -1,9 +1,12 @@
 """Shared fixtures and reporting helpers for the experiment benches.
 
-Every bench module reproduces one experiment from DESIGN.md's index
-(E1–E12), prints the series a paper table would carry, and asserts the
-qualitative shape the paper claims.  EXPERIMENTS.md records the
-paper-claim vs measured outcome for each.
+Every bench module reproduces one experiment (E1–E15), prints the
+series a paper table would carry, and asserts the qualitative shape the
+paper claims.  The trial loops themselves increasingly live in the
+scenario registry (:mod:`repro.exp.scenarios` — see
+``src/repro/exp/README.md`` and ``python -m repro.exp list``); a bench
+is then a thin assertion layer over ``repro.exp.run_scenario``, and the
+same sweep can be run sharded and persisted from the CLI.
 """
 
 from __future__ import annotations

@@ -16,7 +16,10 @@ the paper depends on:
   Theorem 1.3 covering, plus the Section 1.6 blackbox and Section 4
   alternative approach (:mod:`repro.core`),
 * Appendix B lower-bound machinery (:mod:`repro.lower_bounds`) and
-  concentration/statistics helpers (:mod:`repro.analysis`).
+  concentration/statistics helpers (:mod:`repro.analysis`),
+* sharded experiment orchestration — scenario registry, parallel
+  trial runner, JSONL result store, ``python -m repro.exp`` CLI
+  (:mod:`repro.exp`).
 
 Quickstart::
 

@@ -1,0 +1,60 @@
+"""``repro.exp`` — sharded experiment orchestration.
+
+Scenario registry (:mod:`~repro.exp.scenarios`), deterministic sharded
+trial runner (:mod:`~repro.exp.runner`), append-only JSONL result store
+with resume (:mod:`~repro.exp.store`), paper-claim aggregation
+(:mod:`~repro.exp.report`) and the ``python -m repro.exp`` CLI
+(:mod:`~repro.exp.cli`).  See ``src/repro/exp/README.md`` for the
+store schema and copy-paste examples.
+"""
+
+from repro.exp.scenarios import (
+    Scenario,
+    TrialContext,
+    all_scenarios,
+    build_family,
+    get,
+    ldd_diameter_budget,
+    names,
+    register,
+    scenario,
+    trial_seed_sequence,
+)
+from repro.exp.runner import RunResult, TrialTimeout, execute_trial, run_scenario
+from repro.exp.store import (
+    SCHEMA_VERSION,
+    TIMING_FIELDS,
+    ResultStore,
+    canonical_params,
+    code_version,
+    row_key,
+    strip_timing,
+)
+from repro.exp.report import aggregate, render_table, write_bench_json
+
+__all__ = [
+    "Scenario",
+    "TrialContext",
+    "all_scenarios",
+    "build_family",
+    "get",
+    "ldd_diameter_budget",
+    "names",
+    "register",
+    "scenario",
+    "trial_seed_sequence",
+    "RunResult",
+    "TrialTimeout",
+    "execute_trial",
+    "run_scenario",
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "ResultStore",
+    "canonical_params",
+    "code_version",
+    "row_key",
+    "strip_timing",
+    "aggregate",
+    "render_table",
+    "write_bench_json",
+]

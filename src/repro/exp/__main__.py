@@ -1,0 +1,6 @@
+"""``python -m repro.exp`` — experiment orchestration CLI."""
+
+from repro.exp.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

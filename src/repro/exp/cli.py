@@ -1,0 +1,198 @@
+"""Command-line entry point: ``python -m repro.exp {list,run,report}``.
+
+Examples
+--------
+List everything registered::
+
+    python -m repro.exp list
+
+Run a scenario sweep on 4 worker processes, persisting to ``results/``
+(rerunning later resumes — already-stored trials are skipped)::
+
+    python -m repro.exp run ldd-quality --workers 4 --store results
+
+Smoke-run one grid point with overridden values::
+
+    python -m repro.exp run ldd-quality --set family=grid-10x10 \\
+        --set eps=0.4 --trials 2 --workers 2 --store results
+
+The previously-infeasible scale sweep (n = 10^5 LDD)::
+
+    python -m repro.exp run ldd-scale --workers 4 --store results
+
+Aggregate stored rows into the paper-claim table + BENCH json::
+
+    python -m repro.exp report ldd-quality --store results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exp import report as _report
+from repro.exp import scenarios as _scenarios
+from repro.exp.runner import run_scenario
+from repro.exp.store import ResultStore
+from repro.util.tables import Table
+
+
+def _coerce(text: str) -> Any:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_overrides(items: Optional[Sequence[str]]) -> Dict[str, List[Any]]:
+    overrides: Dict[str, List[Any]] = {}
+    for item in items or ():
+        key, sep, values = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--set expects key=value[,value...], got {item!r}"
+            )
+        overrides.setdefault(key, []).extend(
+            _coerce(v) for v in values.split(",") if v != ""
+        )
+    return overrides
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Sharded experiment orchestration for the paper's scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    run = sub.add_parser("run", help="run (or resume) a scenario sweep")
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = inline in this process; default 1)",
+    )
+    run.add_argument("--trials", type=int, default=None, help="trials per grid point")
+    run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run.add_argument(
+        "--store", default="results", help="result store directory (default ./results)"
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, help="per-trial timeout in seconds"
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="KEY=V[,V...]",
+        help="override a grid key's values (repeatable)",
+    )
+    run.add_argument(
+        "--max-points", type=int, default=None, help="truncate the expanded grid"
+    )
+    run.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-execute cached trials whose stored status is error/timeout",
+    )
+
+    rep = sub.add_parser("report", help="aggregate stored rows into a table + json")
+    rep.add_argument("scenario", help="registered scenario name")
+    rep.add_argument("--store", default="results", help="result store directory")
+    rep.add_argument(
+        "--json-out",
+        default=None,
+        help="aggregate json path (default <store>/BENCH_<scenario>.json)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    table = Table(
+        ["scenario", "grid points", "trials", "tags", "description"],
+        title="Registered scenarios (repro.exp)",
+    )
+    for scn in _scenarios.all_scenarios():
+        table.add_row(
+            [
+                scn.name,
+                len(scn.param_points()),
+                scn.trials,
+                ",".join(scn.tags) or "-",
+                scn.description[:72],
+            ]
+        )
+    table.print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scn = _scenarios.get(args.scenario)
+    store = ResultStore(args.store)
+    result = run_scenario(
+        scn,
+        store=store,
+        workers=args.workers,
+        trials=args.trials,
+        root_seed=args.seed,
+        overrides=_parse_overrides(args.overrides) or None,
+        timeout=args.timeout,
+        max_points=args.max_points,
+        retry_failed=args.retry_failed,
+        progress=print,
+    )
+    agg = _report.aggregate(scn.name, result.rows)
+    _report.render_table(agg).print()
+    statuses = result.statuses
+    print(
+        f"{scn.name}: executed {result.executed}, resumed {result.skipped} "
+        f"cached trial(s); statuses {statuses}; store: {store.path_for(scn.name)}"
+    )
+    # Fail (exit 2) when anything executed by THIS run did not come
+    # back ok — error and timeout alike.  Cached failures don't flip
+    # the exit code (a resumed no-op run stays 0); they are surfaced by
+    # the runner's note and retried via --retry-failed.
+    failed_now = sum(
+        count
+        for status, count in result.new_statuses.items()
+        if status != "ok"
+    )
+    return 0 if failed_now == 0 else 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    rows = store.rows(args.scenario)
+    if not rows:
+        print(
+            f"no stored rows for {args.scenario!r} in {store.root} "
+            f"(run `python -m repro.exp run {args.scenario}` first)",
+            file=sys.stderr,
+        )
+        return 1
+    agg = _report.aggregate(args.scenario, rows)
+    _report.render_table(agg).print()
+    out = args.json_out or (store.root / f"BENCH_{args.scenario}.json")
+    path = _report.write_bench_json(agg, out)
+    print(f"aggregate written to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

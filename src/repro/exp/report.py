@@ -1,0 +1,149 @@
+"""Aggregation of stored trial rows into paper-claim tables and
+``BENCH_<scenario>.json`` blobs.
+
+The aggregate is a pure function of the row *contents* (sorted by
+parameter point, then trial; wall-clock fields excluded), so two stores
+produced with different worker counts — or a run resumed in any order —
+aggregate to bit-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exp.store import SCHEMA_VERSION, canonical_params
+from repro.util.tables import Table
+
+
+def _metric_summary(values: List[Any]) -> Dict[str, Any]:
+    numeric = [float(v) for v in values if isinstance(v, (int, float, bool))]
+    summary: Dict[str, Any] = {"count": len(values)}
+    if numeric:
+        summary.update(
+            mean=sum(numeric) / len(numeric),
+            min=min(numeric),
+            max=max(numeric),
+        )
+    return summary
+
+
+def aggregate(scenario: str, rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate rows of one scenario into the BENCH json structure.
+
+    Groups by canonical parameter point; metric statistics (mean / min /
+    max / count) are computed over ``status == "ok"`` rows sorted by
+    trial index, so the result does not depend on row order.  Rows are
+    first deduplicated by *logical* trial — ``(params, trial,
+    root_seed)``, deliberately excluding ``code_version`` — with the
+    last occurrence winning.  Append order is chronological, so a row
+    superseded by ``--retry-failed`` or recomputed after a code change
+    is counted once, as its newest incarnation; the ``code_versions``
+    list in the output records which versions the survivors came from.
+    """
+    deduped: Dict[tuple, Dict[str, Any]] = {}
+    for row in rows:
+        if row.get("scenario") != scenario:
+            continue
+        try:
+            key = (
+                canonical_params(row["params"]),
+                int(row["trial"]),
+                int(row["root_seed"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        deduped[key] = row
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for row in deduped.values():
+        grouped.setdefault(canonical_params(row["params"]), []).append(row)
+
+    points = []
+    totals = {"rows": 0, "ok": 0, "error": 0, "timeout": 0}
+    versions = set()
+    for key in sorted(grouped):
+        # Full key as tiebreak: rows from several root seeds / code
+        # versions in one file must still order deterministically.
+        group = sorted(
+            grouped[key],
+            key=lambda row: (
+                int(row["trial"]),
+                int(row["root_seed"]),
+                str(row.get("code_version", "")),
+            ),
+        )
+        statuses: Dict[str, int] = {}
+        for row in group:
+            status = str(row["status"])
+            statuses[status] = statuses.get(status, 0) + 1
+            totals["rows"] += 1
+            totals[status] = totals.get(status, 0) + 1
+            versions.add(str(row.get("code_version", "unknown")))
+        ok_rows = [row for row in group if row["status"] == "ok"]
+        metric_names = sorted({m for row in ok_rows for m in row["metrics"]})
+        metrics = {
+            name: _metric_summary(
+                [row["metrics"][name] for row in ok_rows if name in row["metrics"]]
+            )
+            for name in metric_names
+        }
+        points.append(
+            {
+                "params": json.loads(key),
+                "trials": len(group),
+                "statuses": statuses,
+                "metrics": metrics,
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "scenario": scenario,
+        "code_versions": sorted(versions),
+        "totals": totals,
+        "points": points,
+    }
+
+
+def render_table(agg: Dict[str, Any], title: Optional[str] = None) -> Table:
+    """Render an aggregate as the ``util.tables.Table`` benches print.
+
+    One row per parameter point; one column per parameter plus the mean
+    of every metric (full min/max/count statistics live in the json).
+    """
+    param_names: List[str] = []
+    metric_names: List[str] = []
+    for point in agg["points"]:
+        for name in point["params"]:
+            if name not in param_names:
+                param_names.append(name)
+        for name in point["metrics"]:
+            if name not in metric_names:
+                metric_names.append(name)
+    table = Table(
+        param_names + ["trials"] + [f"{m} (mean)" for m in metric_names],
+        title=title or f"{agg['scenario']} — {agg['totals']['rows']} trial row(s)",
+    )
+    for point in agg["points"]:
+        cells: List[Any] = [point["params"].get(p, "") for p in param_names]
+        cells.append(point["trials"])
+        for name in metric_names:
+            summary = point["metrics"].get(name)
+            cells.append(summary.get("mean", "") if summary else "")
+        table.add_row(cells)
+    return table
+
+
+def write_bench_json(agg: Dict[str, Any], path) -> Path:
+    """Write the aggregate as ``BENCH_<scenario>.json``-style output.
+
+    ``sort_keys`` + fixed separators make the file byte-stable for
+    identical aggregates (the acceptance check diffs two of these).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(agg, sort_keys=True, indent=2, separators=(",", ": ")) + "\n",
+        encoding="utf-8",
+    )
+    return path

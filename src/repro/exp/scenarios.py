@@ -1,0 +1,665 @@
+"""Declarative scenario registry for the experiment subsystem.
+
+A *scenario* is a named experiment: a parameter grid (graph family ×
+algorithm knobs) plus a trial function that runs one seeded trial of
+one grid point and returns a flat dict of JSON-serializable metrics.
+Registering one is a decorator away:
+
+    @scenario(
+        name="ldd-quality",
+        description="Theorem 1.1 LDD quality across families and eps",
+        grid={"family": ("grid-10x10", "cycle-600"), "eps": (0.4, 0.3)},
+        trials=8,
+    )
+    def _ldd_quality(params, ctx):
+        graph = build_family(params["family"], ctx.rng())
+        ...
+        return {"unclustered_fraction": ..., "within_eps": ...}
+
+The sharded runner (:mod:`repro.exp.runner`) enumerates the grid,
+derives one independent :class:`numpy.random.SeedSequence` per
+(scenario, params, trial) and fans trials out across worker processes;
+the JSONL store (:mod:`repro.exp.store`) persists rows and skips
+already-computed trials on rerun.  ``python -m repro.exp list`` shows
+everything registered here.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import stable_seed_from
+
+TrialFunc = Callable[[Dict[str, Any], "TrialContext"], Dict[str, Any]]
+
+
+@dataclass
+class TrialContext:
+    """Per-trial seeding context handed to scenario functions.
+
+    Wraps the trial's private :class:`~numpy.random.SeedSequence`.
+    Successive :meth:`spawn`/:meth:`rng` calls yield fresh independent
+    streams; since a trial function runs its calls in a fixed order,
+    every stream is reproducible from the (root_seed, params, trial)
+    triple alone — independent of worker count and execution order.
+    """
+
+    seed_seq: np.random.SeedSequence
+
+    def spawn(self, count: int) -> List[np.random.SeedSequence]:
+        """``count`` fresh child sequences (pass as ``seed=`` to algorithms)."""
+        return self.seed_seq.spawn(count)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh independent generator."""
+        return np.random.default_rng(self.spawn(1)[0])
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered experiment: grid × trial function."""
+
+    name: str
+    description: str
+    func: TrialFunc
+    grid: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+    trials: int = 8
+    timeout: Optional[float] = None
+    tags: Tuple[str, ...] = ()
+
+    def param_points(
+        self, overrides: Optional[Mapping[str, Sequence[Any]]] = None
+    ) -> List[Dict[str, Any]]:
+        """Cartesian product of the grid, in declared key order.
+
+        ``overrides`` replaces the value list of existing grid keys
+        (unknown keys raise — a typo should not silently run the full
+        grid).
+        """
+        grid = {k: tuple(v) for k, v in self.grid.items()}
+        for key, values in (overrides or {}).items():
+            if key not in grid:
+                raise KeyError(
+                    f"scenario {self.name!r} has no grid key {key!r} "
+                    f"(available: {sorted(grid)})"
+                )
+            grid[key] = tuple(values)
+        points: List[Dict[str, Any]] = [{}]
+        for key, values in grid.items():
+            points = [{**p, key: v} for p in points for v in values]
+        return points
+
+    def __call__(self, params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+        return self.func(params, ctx)
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scn: Scenario) -> Scenario:
+    if scn.name in _REGISTRY:
+        raise ValueError(f"scenario {scn.name!r} is already registered")
+    _REGISTRY[scn.name] = scn
+    return scn
+
+
+def scenario(
+    name: str,
+    description: str = "",
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    trials: int = 8,
+    timeout: Optional[float] = None,
+    tags: Sequence[str] = (),
+) -> Callable[[TrialFunc], Scenario]:
+    """Decorator: register the function as a scenario trial runner."""
+
+    def decorate(func: TrialFunc) -> Scenario:
+        doc = (func.__doc__ or "").strip()
+        return register(
+            Scenario(
+                name=name,
+                description=description or (doc.splitlines()[0] if doc else ""),
+                func=func,
+                grid={k: tuple(v) for k, v in (grid or {}).items()},
+                trials=trials,
+                timeout=timeout,
+                tags=tuple(tags),
+            )
+        )
+
+    return decorate
+
+
+def get(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(names()) or '(none)'}"
+        ) from None
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    return [_REGISTRY[n] for n in names()]
+
+
+def trial_seed_sequence(
+    root_seed: int, params: Dict[str, Any], trial: int
+) -> np.random.SeedSequence:
+    """The trial's private seed sequence.
+
+    Mirrors ``SeedSequence(root_seed).spawn(...)`` — children are
+    addressed directly through ``spawn_key`` so the derivation depends
+    only on ``(root_seed, params, trial)``, never on how many trials
+    are enumerated, which are already cached, or how many workers run.
+    """
+    from repro.exp.store import canonical_params
+
+    point_key = stable_seed_from(canonical_params(params).encode("utf-8"))
+    return np.random.SeedSequence(root_seed, spawn_key=(point_key, trial))
+
+
+# ----------------------------------------------------------------------
+# Graph family specs ("grid-10x10", "random-3-regular-100000", ...)
+# ----------------------------------------------------------------------
+
+_FAMILY_PATTERNS: List[Tuple[re.Pattern, Callable[..., Any]]] = []
+
+
+def _family(pattern: str):
+    def decorate(builder):
+        _FAMILY_PATTERNS.append((re.compile(pattern + r"\Z"), builder))
+        return builder
+
+    return decorate
+
+
+@_family(r"grid-(\d+)x(\d+)")
+def _f_grid(rng, rows, cols):
+    from repro.graphs import grid_graph
+
+    return grid_graph(int(rows), int(cols))
+
+
+@_family(r"torus-(\d+)x(\d+)")
+def _f_torus(rng, rows, cols):
+    from repro.graphs import grid_graph
+
+    return grid_graph(int(rows), int(cols), torus=True)
+
+
+@_family(r"cycle-(\d+)")
+def _f_cycle(rng, n):
+    from repro.graphs import cycle_graph
+
+    return cycle_graph(int(n))
+
+
+@_family(r"path-(\d+)")
+def _f_path(rng, n):
+    from repro.graphs import path_graph
+
+    return path_graph(int(n))
+
+
+@_family(r"clique-(\d+)")
+def _f_clique(rng, n):
+    from repro.graphs import complete_graph
+
+    return complete_graph(int(n))
+
+
+@_family(r"caterpillar-(\d+)x(\d+)")
+def _f_caterpillar(rng, spine, legs):
+    from repro.graphs import caterpillar
+
+    return caterpillar(int(spine), int(legs))
+
+
+@_family(r"random-(\d+)-regular-(\d+)")
+def _f_regular(rng, d, n):
+    from repro.graphs import random_regular
+
+    return random_regular(int(n), int(d), rng)
+
+
+@_family(r"random-tree-(\d+)")
+def _f_tree(rng, n):
+    from repro.graphs import random_tree
+
+    return random_tree(int(n), rng)
+
+
+@_family(r"er-(\d+)")
+def _f_er(rng, n):
+    from repro.graphs import erdos_renyi_connected
+
+    n = int(n)
+    return erdos_renyi_connected(n, min(1.0, 2.5 / max(n - 1, 1)), rng)
+
+
+@_family(r"hubspokes-(\d+)x(\d+)")
+def _f_hub(rng, hubs, spokes):
+    from repro.graphs import hub_and_spokes
+
+    return hub_and_spokes(int(hubs), int(spokes))
+
+
+def family_names_help() -> str:
+    return (
+        "grid-RxC, torus-RxC, cycle-N, path-N, clique-N, caterpillar-SxL, "
+        "random-D-regular-N, random-tree-N, er-N, hubspokes-HxS"
+    )
+
+
+def build_family(spec: str, rng: np.random.Generator):
+    """Build the graph named by a family spec string.
+
+    Random families consume ``rng``; deterministic ones ignore it.
+    Known specs: grid-RxC, torus-RxC, cycle-N, path-N, clique-N,
+    caterpillar-SxL, random-D-regular-N, random-tree-N, er-N
+    (connected G(n, 2.5/(n-1))), hubspokes-HxS.
+    """
+    for pattern, builder in _FAMILY_PATTERNS:
+        match = pattern.match(spec)
+        if match:
+            return builder(rng, *match.groups())
+    raise ValueError(
+        f"unknown graph family spec {spec!r}; known: {family_names_help()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# First-party scenario registrations
+# ----------------------------------------------------------------------
+
+
+def ldd_diameter_budget(params) -> float:
+    """The Lemma 3.2 weak-diameter budget for a parameterization."""
+    return 2 * (params.t + 2) * params.interval_length + math.ceil(
+        8 * math.log(params.ntilde) / params.phase3_lambda
+    )
+
+
+@scenario(
+    name="ldd-quality",
+    description="Theorem 1.1 LDD quality: unclustered fraction and weak "
+    "diameter vs the (eps, O(log n/eps)) guarantee across graph families",
+    grid={
+        "family": (
+            "grid-10x10",
+            "random-3-regular-100",
+            "random-tree-100",
+            "cycle-600",
+            "caterpillar-150x2",
+        ),
+        "eps": (0.4, 0.3, 0.2),
+    },
+    trials=8,
+)
+def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import LddParams, chang_li_ldd
+    from repro.decomp.quality import summarize_decomposition
+
+    graph_seq, algo_seq = ctx.spawn(2)
+    graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    ldd_params = LddParams.practical(params["eps"], graph.n)
+    decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
+    summary = summarize_decomposition(graph, decomposition)
+    budget = ldd_diameter_budget(ldd_params)
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "unclustered_fraction": summary.unclustered_fraction,
+        "max_weak_diameter": summary.max_weak_diameter,
+        "diameter_budget": budget,
+        "within_eps": summary.unclustered_fraction <= params["eps"],
+        "within_diameter_budget": summary.max_weak_diameter <= budget,
+        "num_clusters": summary.num_clusters,
+        "effective_rounds": summary.effective_rounds,
+    }
+
+
+@scenario(
+    name="ldd-scale",
+    description="LDD trial sweep at n = 10^5 (array-backed generators + "
+    "CSR kernels; weak-diameter audit skipped at this size)",
+    grid={
+        "family": ("random-3-regular-100000",),
+        "eps": (0.2,),
+    },
+    trials=2,
+    timeout=1800.0,
+    tags=("scale",),
+)
+def _ldd_scale_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import LddParams, chang_li_ldd
+    from repro.graphs.metrics import validate_partition
+
+    graph_seq, algo_seq = ctx.spawn(2)
+    graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    ldd_params = LddParams.practical(params["eps"], graph.n)
+    decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
+    # Full partition audit is O(n + m); the all-pairs weak-diameter
+    # sweep is not, so it is the one check skipped at this size.
+    validate_partition(graph, decomposition.clusters, decomposition.deleted)
+    fraction = len(decomposition.deleted) / graph.n if graph.n else 0.0
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "unclustered_fraction": fraction,
+        "within_eps": fraction <= params["eps"],
+        "num_clusters": len(decomposition.clusters),
+        "largest_cluster": max(
+            (len(c) for c in decomposition.clusters), default=0
+        ),
+        "effective_rounds": decomposition.ledger.effective_rounds,
+    }
+
+
+@lru_cache(maxsize=None)
+def _packing_opt(spec: str) -> float:
+    """Exact packing optimum — a pure function of the instance spec, so
+    cached per process (trials re-solve it otherwise)."""
+    from repro.ilp import solve_packing_exact
+
+    return solve_packing_exact(_packing_instance(spec)).weight
+
+
+@lru_cache(maxsize=None)
+def _covering_opt(spec: str) -> float:
+    """Exact covering optimum, cached per process like :func:`_packing_opt`."""
+    from repro.ilp import solve_covering_exact
+
+    return solve_covering_exact(_covering_instance(spec)).weight
+
+
+def _packing_instance(spec: str):
+    from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph
+    from repro.ilp import max_independent_set_ilp, max_matching_ilp
+
+    # Fixed construction seed: the instance is part of the parameter
+    # point, so it must be identical across trials and processes.
+    rng = np.random.default_rng(3)
+    if spec == "mis-cycle-80":
+        return max_independent_set_ilp(cycle_graph(80))
+    if spec == "mis-grid-7x9":
+        return max_independent_set_ilp(grid_graph(7, 9))
+    if spec == "mis-er-56":
+        return max_independent_set_ilp(erdos_renyi_connected(56, 0.07, rng))
+    if spec == "wmis-grid-7x9":
+        gr = grid_graph(7, 9)
+        weights = [float(w) for w in rng.integers(1, 9, size=gr.n)]
+        return max_independent_set_ilp(gr, weights=weights)
+    if spec == "matching-grid-7x9":
+        return max_matching_ilp(grid_graph(7, 9)).instance
+    raise ValueError(f"unknown packing instance spec {spec!r}")
+
+
+@scenario(
+    name="packing-approx",
+    description="Theorem 1.2 packing: per-seed approximation ratio vs the "
+    "(1-eps) target on MIS/matching instances",
+    grid={
+        "instance": (
+            "mis-cycle-80",
+            "mis-grid-7x9",
+            "mis-er-56",
+            "wmis-grid-7x9",
+            "matching-grid-7x9",
+        ),
+        "eps": (0.4, 0.3, 0.2),
+    },
+    trials=4,
+)
+def _packing_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import solve_packing
+
+    instance = _packing_instance(params["instance"])
+    opt = _packing_opt(params["instance"])
+    (algo_seq,) = ctx.spawn(1)
+    result = solve_packing(instance, params["eps"], seed=algo_seq)
+    ratio = result.weight / opt if opt else 1.0
+    return {
+        "opt": opt,
+        "weight": result.weight,
+        "ratio": ratio,
+        "feasible": instance.is_feasible(result.chosen),
+        "meets_target": ratio >= (1 - params["eps"]) - 1e-9,
+    }
+
+
+def _covering_instance(spec: str):
+    from repro.graphs import caterpillar, cycle_graph, grid_graph, hub_and_spokes
+    from repro.ilp import min_dominating_set_ilp, min_vertex_cover_ilp
+
+    rng = np.random.default_rng(5)
+    if spec == "mds-cycle-60":
+        return min_dominating_set_ilp(cycle_graph(60))
+    if spec == "mds-grid-6x7":
+        return min_dominating_set_ilp(grid_graph(6, 7))
+    if spec == "wmds-grid-6x7":
+        gr = grid_graph(6, 7)
+        weights = [float(w) for w in rng.integers(1, 8, size=gr.n)]
+        return min_dominating_set_ilp(gr, weights=weights)
+    if spec == "mds-hubspokes-5x5":
+        return min_dominating_set_ilp(hub_and_spokes(5, 5))
+    if spec == "mds2-caterpillar-14x2":
+        return min_dominating_set_ilp(caterpillar(14, 2), k=2)
+    if spec == "mvc-grid-6x7":
+        return min_vertex_cover_ilp(grid_graph(6, 7))
+    raise ValueError(f"unknown covering instance spec {spec!r}")
+
+
+@scenario(
+    name="covering-approx",
+    description="Theorem 1.3 covering: per-seed approximation ratio vs the "
+    "(1+eps) target on dominating-set/vertex-cover instances",
+    grid={
+        "instance": (
+            "mds-cycle-60",
+            "mds-grid-6x7",
+            "wmds-grid-6x7",
+            "mds-hubspokes-5x5",
+            "mds2-caterpillar-14x2",
+            "mvc-grid-6x7",
+        ),
+        "eps": (0.4, 0.25),
+    },
+    trials=4,
+)
+def _covering_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import solve_covering
+
+    instance = _covering_instance(params["instance"])
+    opt = _covering_opt(params["instance"])
+    (algo_seq,) = ctx.spawn(1)
+    result = solve_covering(instance, params["eps"], seed=algo_seq)
+    ratio = result.weight / opt if opt else 1.0
+    return {
+        "opt": opt,
+        "weight": result.weight,
+        "ratio": ratio,
+        "feasible": instance.is_feasible(result.chosen),
+        "meets_target": ratio <= (1 + params["eps"]) + 1e-9,
+    }
+
+
+@scenario(
+    name="en-failure",
+    description="Claim C.1 probe: Elkin-Neiman catastrophic collapse rate "
+    "on cliques vs the 1-e^-eps analytic event, with the Theorem 1.1 "
+    "algorithm on the same family as control",
+    grid={"n": (32,), "eps": (0.4, 0.3, 0.2, 0.1)},
+    trials=100,
+)
+def _en_failure_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import low_diameter_decomposition
+    from repro.decomp import elkin_neiman_ldd, sample_shifts
+    from repro.graphs import clique_family, en_failure_event
+
+    n, eps = params["n"], params["eps"]
+    graph = clique_family(n)
+    shift_seq, cl_seq = ctx.spawn(2)
+    shifts = sample_shifts(n, eps, n, seed=shift_seq)
+    decomposition = elkin_neiman_ldd(graph, eps, shifts=shifts)
+    collapsed = len(decomposition.deleted) >= n - 1
+    event = en_failure_event(graph, list(shifts))
+    cl = low_diameter_decomposition(graph, eps=eps, seed=cl_seq)
+    return {
+        "collapsed": collapsed,
+        "event": event,
+        "event_implies_collapse": (not event) or collapsed,
+        "theory_rate": 1 - math.exp(-eps),
+        "cl_fraction": len(cl.deleted) / n,
+        "cl_within_eps": len(cl.deleted) / n <= eps,
+    }
+
+
+@scenario(
+    name="mpx-failure",
+    description="Claim C.2 probe: MPX heavy-cut rate on the adversarial "
+    "S_L/S_R/L/R family vs the analytic event frequency",
+    grid={"t": (8,), "lam": (0.4, 0.3, 0.2, 0.1)},
+    trials=100,
+)
+def _mpx_failure_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.decomp import mpx_decomposition, sample_shifts
+    from repro.graphs import mpx_bad_family, mpx_failure_event
+
+    bad = mpx_bad_family(params["t"])
+    graph = bad.graph
+    bipartite = {tuple(sorted(e)) for e in bad.bipartite_edges}
+    (shift_seq,) = ctx.spawn(1)
+    shifts = sample_shifts(graph.n, params["lam"], graph.n, seed=shift_seq)
+    decomposition = mpx_decomposition(graph, params["lam"], shifts=shifts)
+    cut = {tuple(sorted(e)) for e in decomposition.cut_edges}
+    event = mpx_failure_event(bad, list(shifts))
+    return {
+        "event": event,
+        "heavy_cut": len(cut) >= len(bipartite),
+        "event_implies_bipartite_cut": (not event) or bipartite <= cut,
+        "cut_fraction": decomposition.cut_fraction(graph),
+    }
+
+
+@scenario(
+    name="congest-bandwidth",
+    description="Section 6 CONGEST audit: message-passing Elkin-Neiman "
+    "max message bits vs the c*log2(n) budget as n grows",
+    grid={"n": (16, 32, 64, 128), "lam": (0.4,)},
+    trials=3,
+)
+def _congest_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.decomp.elkin_neiman import _EnNode
+    from repro.decomp.shifts import sample_shifts, shift_cap
+    from repro.graphs import cycle_graph
+    from repro.local import audit_congest
+    from repro.local.engine import run_synchronous
+
+    n, lam = params["n"], params["lam"]
+    graph = cycle_graph(n)
+    shift_seq, engine_seq = ctx.spawn(2)
+    shifts = sample_shifts(n, lam, n, seed=shift_seq)
+    deadline = int(math.floor(shift_cap(lam, n))) + 2
+    counter = iter(range(n))
+
+    def factory():
+        v = next(counter)
+        return _EnNode(v, shifts[v], deadline)
+
+    result = run_synchronous(
+        graph,
+        factory,
+        seed=engine_seq,
+        max_rounds=deadline + 2,
+        anonymous=False,
+        measure_bits=True,
+    )
+    audit = audit_congest(result, n)
+    return {
+        "max_message_bits": audit.max_message_bits,
+        "budget_bits": audit.budget_bits,
+        "overhead_factor": audit.overhead_factor,
+        "fits_budget": audit.fits,
+    }
+
+
+@scenario(
+    name="kernel-speed",
+    description="E15 smoke: CSR vs pure-Python LDD hot-path timings on the "
+    "40x40 grid (wall-clock metrics; inherently machine-dependent)",
+    grid={"grid": ("40x40",), "eps": (0.3,)},
+    trials=1,
+    tags=("timing",),
+)
+def _kernel_speed_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import low_diameter_decomposition
+    from repro.decomp.shifts import sample_shifts, shifted_flood
+    from repro.graphs import grid_graph
+    from repro.local.gather import gather_ball
+
+    rows, cols = (int(x) for x in params["grid"].split("x"))
+    eps = params["eps"]
+
+    def best_of(repeats, fn):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    timings: Dict[str, float] = {}
+    for backend in ("python", "csr"):
+        timings[f"ldd_{backend}_s"] = best_of(
+            2 if backend == "python" else 3,
+            lambda: low_diameter_decomposition(
+                grid_graph(rows, cols), eps=eps, seed=0, backend=backend
+            ),
+        )
+    graph = grid_graph(rows, cols)
+    radius = 4 * 4 * 25
+
+    def estimate_python():
+        for v in range(graph.n):
+            gather_ball(graph, [v], radius)
+
+    timings["estimate_nv_python_s"] = best_of(1, estimate_python)
+    timings["estimate_nv_csr_s"] = best_of(
+        3, lambda: graph.csr().all_ball_sizes(radius)
+    )
+    timings["power4_python_s"] = best_of(2, lambda: graph.power(4))
+    timings["power4_csr_s"] = best_of(3, lambda: graph.power(4, backend="csr"))
+    shifts = sample_shifts(graph.n, eps / 10.0, graph.n, seed=1)
+    timings["en_flood_python_s"] = best_of(
+        3, lambda: shifted_flood(graph, shifts, keep=2)
+    )
+    timings["en_flood_csr_s"] = best_of(
+        3, lambda: graph.csr().top2_shifted_flood(shifts)
+    )
+
+    a = low_diameter_decomposition(
+        grid_graph(rows, cols), eps=eps, seed=0, backend="python"
+    )
+    b = low_diameter_decomposition(
+        grid_graph(rows, cols), eps=eps, seed=0, backend="csr"
+    )
+    return {
+        **timings,
+        "ldd_speedup": timings["ldd_python_s"] / max(timings["ldd_csr_s"], 1e-12),
+        "estimate_nv_speedup": timings["estimate_nv_python_s"]
+        / max(timings["estimate_nv_csr_s"], 1e-12),
+        "backends_identical": a.deleted == b.deleted and a.clusters == b.clusters,
+    }

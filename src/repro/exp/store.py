@@ -1,0 +1,185 @@
+"""Append-only JSONL result store for experiment trials.
+
+One file per scenario (``<root>/<scenario>.jsonl``), one JSON object per
+trial.  Rows are keyed by ``(scenario, canonical params, trial,
+root_seed, code_version)`` so a rerun of the same scenario at the same
+code version skips every already-present trial (resume-on-rerun), while
+a code change naturally invalidates the cache.
+
+The store is deliberately dumb: append + linear scan.  Experiment
+volumes (10^2–10^5 rows) make anything fancier premature, and JSONL
+keeps results greppable, diffable and crash-safe (a torn final line is
+skipped on read, then overwritten by the next append).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Row fields that carry wall-clock measurements rather than trial
+#: results.  Excluded from row keys and from determinism comparisons
+#: (the sharded runner guarantees bit-identical rows *modulo these*).
+TIMING_FIELDS = ("elapsed_s",)
+
+RowKey = Tuple[str, str, int, int, str]
+
+_code_version_cache: Optional[str] = None
+
+
+def _git(args, cwd) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True, timeout=10
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout if out.returncode == 0 else None
+
+
+def code_version() -> str:
+    """A ``git describe``-style identifier of the running code.
+
+    ``git describe --always --dirty`` in the repository containing this
+    package; ``"unknown"`` when the package is not inside a git
+    checkout (e.g. an installed wheel).  A dirty tree additionally gets
+    a short content hash of the uncommitted diff and the untracked
+    *source* files' fingerprints — two *different* dirty states must
+    not share a cache key, or resume would serve rows computed by older
+    code.  Only ``.py`` files count among untracked paths: result
+    stores written inside the checkout (``results/*.jsonl``) must not
+    invalidate the cache they implement.  Cached per process.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        here = Path(__file__).resolve().parent
+        described = _git(["describe", "--always", "--dirty"], here)
+        version = described.strip() if described and described.strip() else "unknown"
+        if version.endswith("-dirty"):
+            import hashlib
+
+            digest = hashlib.sha1()
+            digest.update((_git(["diff", "HEAD"], here) or "").encode("utf-8"))
+            untracked = _git(
+                ["ls-files", "--others", "--exclude-standard"], here
+            )
+            root = _git(["rev-parse", "--show-toplevel"], here)
+            top = Path(root.strip()) if root and root.strip() else here
+            for name in sorted((untracked or "").splitlines()):
+                if not name.endswith(".py"):
+                    continue
+                digest.update(name.encode("utf-8"))
+                try:
+                    stat = (top / name).stat()
+                    digest.update(f"{stat.st_size}:{stat.st_mtime_ns}".encode())
+                except OSError:
+                    pass
+            version = f"{version}-{digest.hexdigest()[:10]}"
+        _code_version_cache = version
+    return _code_version_cache
+
+
+def canonical_params(params: Dict[str, Any]) -> str:
+    """Canonical JSON encoding of a parameter point (sorted, compact)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def row_key(row: Dict[str, Any]) -> RowKey:
+    """The resume key of a stored (or about-to-be-stored) row."""
+    return (
+        str(row["scenario"]),
+        canonical_params(row["params"]),
+        int(row["trial"]),
+        int(row["root_seed"]),
+        str(row["code_version"]),
+    )
+
+
+def strip_timing(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``row`` without the wall-clock fields — the part the
+    sharded runner guarantees to be bit-identical across worker counts."""
+    return {k: v for k, v in row.items() if k not in TIMING_FIELDS}
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays into JSON-native types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+class ResultStore:
+    """Directory of per-scenario JSONL result files."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario: str) -> Path:
+        return self.root / f"{scenario}.jsonl"
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one row and flush (crash-safety between trials).
+
+        If a previous process died mid-write, the file may end in a
+        torn line with no newline; heal it first so the new row does
+        not get glued onto the fragment.
+        """
+        with open(self.path_for(str(row["scenario"])), "ab+") as fh:
+            fh.seek(0, 2)
+            if fh.tell() > 0:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write(
+                (json.dumps(jsonify(row), sort_keys=True) + "\n").encode("utf-8")
+            )
+            fh.flush()
+
+    def rows(self, scenario: str) -> List[Dict[str, Any]]:
+        """All parseable rows of a scenario (corrupt lines are skipped)."""
+        path = self.path_for(scenario)
+        if not path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(row, dict) and "scenario" in row:
+                    out.append(row)
+        return out
+
+    def existing(self, scenario: str) -> Dict[RowKey, Dict[str, Any]]:
+        """Keyed view of the stored rows (last write wins per key)."""
+        keyed: Dict[RowKey, Dict[str, Any]] = {}
+        for row in self.rows(scenario):
+            try:
+                keyed[row_key(row)] = row
+            except (KeyError, TypeError, ValueError):
+                continue
+        return keyed
+
+    def existing_keys(self, scenario: str) -> Set[RowKey]:
+        return set(self.existing(scenario))

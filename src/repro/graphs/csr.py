@@ -500,6 +500,24 @@ class CsrGraph:
             return float("inf")
         return float(dist.max())
 
+    def eccentricities(self, chunk_size: Optional[int] = None) -> np.ndarray:
+        """Per-vertex eccentricities as a float64 array (``inf`` when the
+        vertex cannot reach every other vertex).
+
+        Batched counterpart of looping :meth:`Graph.eccentricity` over
+        all vertices; sources are processed in packed chunks so the
+        distance matrix never materializes beyond one chunk.
+        """
+        ecc = np.zeros(self.n, dtype=np.float64)
+        chunk = self._chunk_width(chunk_size)
+        for lo in range(0, self.n, chunk):
+            hi = min(self.n, lo + chunk)
+            dist = self.distances_from(range(lo, hi))
+            block = dist.max(axis=1).astype(np.float64)
+            block[(dist < 0).any(axis=1)] = np.inf
+            ecc[lo:hi] = block
+        return ecc
+
     # ------------------------------------------------------------------
     # Elkin–Neiman communication core
     # ------------------------------------------------------------------

@@ -170,18 +170,42 @@ class Graph:
         dist = self.bfs_distances([u])
         return dist.get(v, float("inf"))
 
-    def eccentricity(self, v: int) -> float:
+    def eccentricity(self, v: int, backend: str = "python") -> float:
         """Maximum distance from ``v`` to any reachable vertex; ``inf`` when
-        the graph is disconnected (taken over all vertices)."""
+        the graph is disconnected (taken over all vertices).
+
+        ``backend="csr"`` runs the single-source sweep on the batched
+        numpy kernel; the result is identical.
+        """
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            dist = self.csr().bfs_distances([v])
+            if bool((dist < 0).any()):
+                return float("inf")
+            return float(dist.max()) if self.n else 0.0
         dist = self.bfs_distances([v])
         if len(dist) < self.n:
             return float("inf")
         return max(dist.values(), default=0)
 
-    def diameter(self) -> float:
-        """Graph diameter (``inf`` when disconnected, 0 when n <= 1)."""
+    def diameter(self, backend: str = "python") -> float:
+        """Graph diameter (``inf`` when disconnected, 0 when n <= 1).
+
+        ``backend="csr"`` computes all eccentricities in packed chunks
+        (:meth:`~repro.graphs.csr.CsrGraph.eccentricities`) instead of
+        ``n`` single-source Python BFS passes.
+        """
         if self.n == 0:
             return 0
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            ecc = self.csr().eccentricities()
+            value = float(ecc.max())
+            return value
         best = 0.0
         for v in range(self.n):
             ecc = self.eccentricity(v)
@@ -303,10 +327,10 @@ class Graph:
                 best = max(best, d)
         return best
 
-    def strong_diameter(self, subset: Iterable[int]) -> float:
+    def strong_diameter(self, subset: Iterable[int], backend: str = "python") -> float:
         """Strong diameter: diameter of the induced subgraph ``G[subset]``."""
         sub, _ = self.induced_subgraph(subset)
-        return sub.diameter()
+        return sub.diameter(backend=backend)
 
     def girth(self, upper_bound: Optional[int] = None) -> float:
         """Length of the shortest cycle (``inf`` for forests).

@@ -81,3 +81,34 @@ class TestRunTrials:
         assert len(series.fractions) == 5
         assert len(series.diameters) == 5
         assert all(0 <= f <= 1 for f in series.fractions)
+
+
+class TestBackendEquivalence:
+    """The CSR-kernel quality path must match the python reference."""
+
+    def test_summarize_backends_identical(self):
+        graph = grid_graph(8, 8)
+        from repro.core import low_diameter_decomposition
+
+        decomposition = low_diameter_decomposition(graph, eps=0.3, seed=2)
+        py = summarize_decomposition(graph, decomposition, backend="python")
+        csr = summarize_decomposition(graph, decomposition, backend="csr")
+        assert py == csr
+
+    def test_run_trials_backends_identical(self):
+        graph = cycle_graph(40)
+        from repro.core import low_diameter_decomposition
+
+        def runner(seed):
+            return low_diameter_decomposition(graph, eps=0.3, seed=seed)
+
+        py = run_ldd_trials(graph, runner, trials=3, backend="python")
+        csr = run_ldd_trials(graph, runner, trials=3, backend="csr")
+        assert py.fractions == csr.fractions
+        assert py.diameters == csr.diameters
+
+    def test_unknown_backend_rejected(self):
+        graph = cycle_graph(12)
+        decomposition = elkin_neiman_ldd(graph, 0.3, seed=0)
+        with pytest.raises(ValueError):
+            summarize_decomposition(graph, decomposition, backend="nope")

@@ -1,0 +1,266 @@
+"""Tests for the sharded trial runner: determinism, resume, failure capture.
+
+The tiny scenarios registered here are inherited by worker processes
+via fork (Linux CI); the runner's contract is that rows are
+bit-identical regardless of worker count, modulo the wall-clock fields.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.exp import (
+    ResultStore,
+    RunResult,
+    aggregate,
+    execute_trial,
+    get,
+    run_scenario,
+    scenario,
+    strip_timing,
+    trial_seed_sequence,
+    write_bench_json,
+)
+
+
+def _register_once(name, **kwargs):
+    def wrap(func):
+        try:
+            return scenario(name, **kwargs)(func)
+        except ValueError:  # already registered by a previous import
+            return get(name)
+
+    return wrap
+
+
+@_register_once(
+    "test-tiny",
+    description="deterministic toy scenario for runner tests",
+    grid={"a": (1, 2), "b": ("x",)},
+    trials=3,
+)
+def _tiny(params, ctx):
+    rng = ctx.rng()
+    return {
+        "a": params["a"],
+        "draw": int(rng.integers(0, 2**31)),
+        "second_draw": int(ctx.rng().integers(0, 2**31)),
+    }
+
+
+@_register_once(
+    "test-explode",
+    description="raises on odd trials",
+    grid={"a": (1,)},
+    trials=4,
+)
+def _explode(params, ctx):
+    draw = int(ctx.rng().integers(0, 2**31))
+    if draw % 2 == 1:
+        raise RuntimeError(f"boom {draw}")
+    return {"draw": draw}
+
+
+@_register_once(
+    "test-sleepy",
+    description="sleeps far beyond any sane timeout",
+    grid={"a": (1,)},
+    trials=1,
+)
+def _sleepy(params, ctx):
+    time.sleep(30.0)
+    return {"done": True}
+
+
+@_register_once(
+    "test-flaky",
+    description="fails until the flag file exists (retry testing)",
+    grid={"flag_path": ("unset",)},
+    trials=2,
+)
+def _flaky(params, ctx):
+    import os
+
+    if not os.path.exists(params["flag_path"]):
+        raise RuntimeError("flag file missing")
+    return {"done": True}
+
+
+class TestSeedDerivation:
+    def test_depends_only_on_root_params_trial(self):
+        a = trial_seed_sequence(7, {"x": 1, "y": "g"}, 3)
+        b = trial_seed_sequence(7, {"y": "g", "x": 1}, 3)
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_distinct_across_trials_params_roots(self):
+        base = trial_seed_sequence(7, {"x": 1}, 0).generate_state(2).tolist()
+        for other in (
+            trial_seed_sequence(7, {"x": 1}, 1),
+            trial_seed_sequence(7, {"x": 2}, 0),
+            trial_seed_sequence(8, {"x": 1}, 0),
+        ):
+            assert other.generate_state(2).tolist() != base
+
+
+class TestShardDeterminism:
+    def test_identical_rows_across_worker_counts(self, tmp_path):
+        stores, aggregates = {}, {}
+        for workers in (0, 1, 2, 4):
+            store = ResultStore(tmp_path / f"w{workers}")
+            result = run_scenario(
+                "test-tiny", store=store, workers=workers, root_seed=11
+            )
+            assert result.executed == 6 and result.skipped == 0
+            stores[workers] = [strip_timing(r) for r in store.rows("test-tiny")]
+            agg_path = write_bench_json(
+                aggregate("test-tiny", store.rows("test-tiny")),
+                tmp_path / f"w{workers}" / "BENCH_test-tiny.json",
+            )
+            aggregates[workers] = agg_path.read_bytes()
+        # JSONL rows: identical contents AND identical file order.
+        assert stores[0] == stores[1] == stores[2] == stores[4]
+        # Aggregate report: bit-identical bytes.
+        assert (
+            aggregates[0] == aggregates[1] == aggregates[2] == aggregates[4]
+        )
+
+    def test_inline_matches_pool_row_for_row(self, tmp_path):
+        spec = ("test-tiny", {"a": 1, "b": "x"}, 2, 5, None, "v")
+        row = execute_trial(spec)
+        again = execute_trial(spec)
+        assert strip_timing(row) == strip_timing(again)
+        assert row["status"] == "ok"
+
+
+class TestResume:
+    def test_rerun_executes_zero_trials(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_scenario("test-tiny", store=store, workers=2, root_seed=3)
+        assert first.executed == 6
+        lines_before = store.path_for("test-tiny").read_text()
+        again = run_scenario("test-tiny", store=store, workers=1, root_seed=3)
+        assert again.executed == 0 and again.skipped == 6
+        # No rows appended; cached rows returned in spec order.
+        assert store.path_for("test-tiny").read_text() == lines_before
+        assert [strip_timing(r) for r in again.rows] == [
+            strip_timing(r) for r in first.rows
+        ]
+
+    def test_partial_resume_extends_trials(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_scenario("test-tiny", store=store, workers=0, trials=2)
+        grown = run_scenario("test-tiny", store=store, workers=0, trials=3)
+        assert grown.executed == 2  # one new trial per grid point
+        assert grown.skipped == 4
+        # Existing trials kept their seeds: draws are a pure function of
+        # (root_seed, params, trial), not of the trial count.
+        by_key = {
+            (r["params"]["a"], r["trial"]): r["metrics"]["draw"]
+            for r in grown.rows
+        }
+        fresh = run_scenario("test-tiny", store=None, workers=0, trials=2)
+        for row in fresh.rows:
+            assert by_key[(row["params"]["a"], row["trial"])] == row["metrics"]["draw"]
+
+    def test_different_root_seed_is_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_scenario("test-tiny", store=store, workers=0, root_seed=1)
+        other = run_scenario("test-tiny", store=store, workers=0, root_seed=2)
+        assert other.executed == 6
+
+
+class TestFailureCapture:
+    def test_error_rows_do_not_abort_the_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_scenario("test-explode", store=store, workers=0)
+        assert len(result.rows) == 4
+        statuses = result.statuses
+        assert statuses.get("error", 0) >= 1  # draws are odd ~half the time
+        for row in result.rows:
+            if row["status"] == "error":
+                assert "boom" in row["error"]
+                assert row["metrics"] == {}
+
+    def test_timeout_row(self):
+        result = run_scenario("test-sleepy", store=None, workers=0, timeout=0.2)
+        (row,) = result.rows
+        assert row["status"] == "timeout"
+        assert "0.2" in row["error"]
+        assert row["elapsed_s"] < 5.0
+
+    def test_retry_failed_reexecutes_and_supersedes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        flag = tmp_path / "flag"
+        overrides = {"flag_path": [str(flag)]}
+        first = run_scenario(
+            "test-flaky", store=store, workers=0, overrides=overrides
+        )
+        assert first.statuses == {"error": 2}
+        # Default rerun: failures stay cached, nothing executes.
+        cached = run_scenario(
+            "test-flaky", store=store, workers=0, overrides=overrides
+        )
+        assert cached.executed == 0
+        assert cached.statuses == {"error": 2}
+        # The transient cause goes away; --retry-failed re-executes
+        # exactly the failed trials and the fresh rows supersede.
+        flag.touch()
+        retried = run_scenario(
+            "test-flaky",
+            store=store,
+            workers=0,
+            overrides=overrides,
+            retry_failed=True,
+        )
+        assert retried.executed == 2
+        assert retried.statuses == {"ok": 2}
+        assert retried.new_statuses == {"ok": 2}
+        keyed = store.existing("test-flaky")
+        assert all(row["status"] == "ok" for row in keyed.values())
+        # The raw file still holds 4 rows (2 superseded error rows),
+        # but aggregation dedups by resume key — last write wins, so
+        # the report counts each logical trial exactly once.
+        raw = store.rows("test-flaky")
+        assert len(raw) == 4
+        agg = aggregate("test-flaky", raw)
+        assert agg["totals"] == {"rows": 2, "ok": 2, "error": 0, "timeout": 0}
+        (point,) = agg["points"]
+        assert point["trials"] == 2 and point["statuses"] == {"ok": 2}
+
+    def test_new_statuses_excludes_cached_rows(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_scenario("test-tiny", store=store, workers=0, trials=2)
+        again = run_scenario("test-tiny", store=store, workers=0, trials=3)
+        assert again.statuses == {"ok": 6}
+        assert again.new_statuses == {"ok": 2}
+        assert len(again.new_rows) == 2
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario("no-such-scenario")
+
+    def test_unknown_override_key_raises(self):
+        with pytest.raises(KeyError, match="no grid key"):
+            run_scenario("test-tiny", overrides={"typo": [1]})
+
+
+class TestRunResultHelpers:
+    def test_metrics_and_grouping(self):
+        result = run_scenario("test-tiny", store=None, workers=0, trials=2)
+        assert len(result.metrics("draw")) == 4
+        groups = result.by_params()
+        assert len(groups) == 2
+        assert all(len(rows) == 2 for rows in groups.values())
+        assert isinstance(result, RunResult)
+
+    def test_aggregate_structure(self):
+        result = run_scenario("test-tiny", store=None, workers=0, trials=2)
+        agg = aggregate("test-tiny", result.rows)
+        assert agg["totals"] == {"rows": 4, "ok": 4, "error": 0, "timeout": 0}
+        assert [p["params"]["a"] for p in agg["points"]] == [1, 2]
+        point = agg["points"][0]
+        assert point["metrics"]["draw"]["count"] == 2
+        assert point["metrics"]["draw"]["min"] <= point["metrics"]["draw"]["mean"]
+        blob = json.dumps(agg)  # strict-JSON serializable
+        assert "draw" in blob

@@ -1,0 +1,211 @@
+"""Tests for the scenario registry, family specs and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exp import (
+    all_scenarios,
+    build_family,
+    execute_trial,
+    get,
+    ldd_diameter_budget,
+    names,
+    strip_timing,
+)
+from repro.exp import scenario
+from repro.exp.cli import main as cli_main
+from repro.exp.scenarios import Scenario, family_names_help
+
+
+def _register_once(name, **kwargs):
+    def wrap(func):
+        try:
+            return scenario(name, **kwargs)(func)
+        except ValueError:  # already registered by a previous import
+            return get(name)
+
+    return wrap
+
+
+@_register_once(
+    "test-cli-fail",
+    description="always raises (CLI exit-code testing)",
+    grid={"a": (1,)},
+    trials=1,
+)
+def _cli_fail(params, ctx):
+    raise RuntimeError("deliberate")
+
+
+class TestRegistry:
+    def test_first_party_scenarios_registered(self):
+        registered = names()
+        for expected in (
+            "ldd-quality",
+            "ldd-scale",
+            "packing-approx",
+            "covering-approx",
+            "en-failure",
+            "mpx-failure",
+            "congest-bandwidth",
+            "kernel-speed",
+        ):
+            assert expected in registered
+
+    def test_get_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="ldd-quality"):
+            get("definitely-not-registered")
+
+    def test_all_scenarios_sorted_and_described(self):
+        scenarios = all_scenarios()
+        assert [s.name for s in scenarios] == sorted(s.name for s in scenarios)
+        for scn in scenarios:
+            assert isinstance(scn, Scenario)
+            assert scn.description
+
+    def test_param_points_cartesian_in_declared_order(self):
+        scn = get("ldd-quality")
+        points = scn.param_points()
+        assert len(points) == len(scn.grid["family"]) * len(scn.grid["eps"])
+        assert points[0]["family"] == scn.grid["family"][0]
+        assert points[0]["eps"] == scn.grid["eps"][0]
+        assert points[1]["eps"] == scn.grid["eps"][1]
+
+    def test_param_points_overrides(self):
+        scn = get("ldd-quality")
+        points = scn.param_points({"eps": [0.5], "family": ["cycle-12"]})
+        assert points == [{"family": "cycle-12", "eps": 0.5}]
+        with pytest.raises(KeyError, match="no grid key"):
+            scn.param_points({"bogus": [1]})
+
+
+class TestFamilySpecs:
+    @pytest.mark.parametrize(
+        "spec, n, m",
+        [
+            ("grid-3x4", 12, 17),
+            ("torus-3x4", 12, 24),
+            ("cycle-9", 9, 9),
+            ("path-5", 5, 4),
+            ("clique-5", 5, 10),
+            ("caterpillar-4x2", 12, 11),
+            ("hubspokes-2x3", 8, 7),
+        ],
+    )
+    def test_deterministic_specs(self, spec, n, m):
+        graph = build_family(spec, np.random.default_rng(0))
+        assert (graph.n, graph.m) == (n, m)
+
+    def test_random_specs_are_seeded(self):
+        for spec in ("random-3-regular-20", "random-tree-15", "er-20"):
+            a = build_family(spec, np.random.default_rng(5))
+            b = build_family(spec, np.random.default_rng(5))
+            assert a == b, spec
+
+    def test_unknown_spec_raises_with_help(self):
+        with pytest.raises(ValueError, match="grid-RxC"):
+            build_family("mystery-7", np.random.default_rng(0))
+        assert "random-D-regular-N" in family_names_help()
+
+
+class TestLddQualityTrial:
+    def test_trial_is_deterministic_and_within_budget(self):
+        spec = (
+            "ldd-quality",
+            {"family": "grid-6x6", "eps": 0.4},
+            0,
+            0,
+            None,
+            "v",
+        )
+        row = execute_trial(spec)
+        assert row["status"] == "ok", row["error"]
+        metrics = row["metrics"]
+        assert metrics["n"] == 36
+        assert metrics["within_eps"] and metrics["within_diameter_budget"]
+        assert metrics["max_weak_diameter"] <= metrics["diameter_budget"]
+        assert strip_timing(execute_trial(spec)) == strip_timing(row)
+
+    def test_diameter_budget_positive(self):
+        from repro.core import LddParams
+
+        assert ldd_diameter_budget(LddParams.practical(0.3, 100)) > 0
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ldd-scale" in out and "kernel-speed" in out
+
+    def test_run_and_report_end_to_end(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "results")
+        code = cli_main(
+            [
+                "run",
+                "ldd-quality",
+                "--set",
+                "family=grid-6x6",
+                "--set",
+                "eps=0.4",
+                "--trials",
+                "2",
+                "--workers",
+                "0",
+                "--store",
+                store_dir,
+            ]
+        )
+        assert code == 0
+        jsonl = tmp_path / "results" / "ldd-quality.jsonl"
+        assert jsonl.exists()
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert len(rows) == 2 and all(r["status"] == "ok" for r in rows)
+
+        # Rerun resumes: no new rows appended.
+        before = jsonl.read_text()
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "ldd-quality",
+                    "--set",
+                    "family=grid-6x6",
+                    "--set",
+                    "eps=0.4",
+                    "--trials",
+                    "2",
+                    "--workers",
+                    "0",
+                    "--store",
+                    store_dir,
+                ]
+            )
+            == 0
+        )
+        assert jsonl.read_text() == before
+
+        assert cli_main(["report", "ldd-quality", "--store", store_dir]) == 0
+        bench = tmp_path / "results" / "BENCH_ldd-quality.json"
+        agg = json.loads(bench.read_text())
+        assert agg["scenario"] == "ldd-quality"
+        assert agg["totals"]["ok"] == 2
+        assert agg["points"][0]["metrics"]["unclustered_fraction"]["count"] == 2
+
+    def test_failed_new_trials_exit_2_but_cached_rerun_exits_0(self, tmp_path):
+        store_dir = str(tmp_path / "results")
+        args = ["run", "test-cli-fail", "--workers", "0", "--store", store_dir]
+        assert cli_main(args) == 2  # executed trials failed
+        assert cli_main(args) == 0  # nothing executed; cached failure noted
+
+    def test_report_without_rows_fails(self, tmp_path):
+        assert (
+            cli_main(["report", "ldd-quality", "--store", str(tmp_path / "empty")])
+            == 1
+        )
+
+    def test_bad_set_syntax_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "ldd-quality", "--set", "oops"])

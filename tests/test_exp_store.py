@@ -1,0 +1,110 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exp import (
+    ResultStore,
+    aggregate,
+    canonical_params,
+    row_key,
+    strip_timing,
+)
+from repro.exp.store import jsonify
+
+
+def _row(trial=0, params=None, status="ok", **extra):
+    row = {
+        "schema": 1,
+        "scenario": "demo",
+        "params": params or {"eps": 0.3, "family": "grid-4x4"},
+        "trial": trial,
+        "root_seed": 0,
+        "code_version": "v-test",
+        "status": status,
+        "metrics": {"x": 1.0},
+        "error": None,
+        "elapsed_s": 0.01,
+    }
+    row.update(extra)
+    return row
+
+
+class TestCanonicalParams:
+    def test_key_order_independent(self):
+        assert canonical_params({"b": 1, "a": 2}) == canonical_params(
+            {"a": 2, "b": 1}
+        )
+
+    def test_row_key_excludes_timing(self):
+        a, b = _row(elapsed_s=0.5), _row(elapsed_s=9.0)
+        assert row_key(a) == row_key(b)
+        assert strip_timing(a) == strip_timing(b)
+        assert "elapsed_s" not in strip_timing(a)
+
+
+class TestJsonify:
+    def test_numpy_scalars(self):
+        blob = jsonify(
+            {
+                "i": np.int64(3),
+                "f": np.float64(0.5),
+                "b": np.bool_(True),
+                "arr": np.arange(3),
+                "nested": [np.int32(1), (np.float32(2.0),)],
+            }
+        )
+        # Everything must survive a strict JSON round-trip.
+        assert json.loads(json.dumps(blob)) == {
+            "i": 3,
+            "f": 0.5,
+            "b": True,
+            "arr": [0, 1, 2],
+            "nested": [1, [2.0]],
+        }
+
+
+class TestResultStore:
+    def test_append_and_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        store.append(_row(trial=0))
+        store.append(_row(trial=1))
+        rows = store.rows("demo")
+        assert [r["trial"] for r in rows] == [0, 1]
+        assert store.path_for("demo").exists()
+
+    def test_missing_scenario_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.rows("nope") == []
+        assert store.existing_keys("nope") == set()
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_row(trial=0))
+        with open(store.path_for("demo"), "a", encoding="utf-8") as fh:
+            fh.write("\n{not json")  # torn write
+        store.append(_row(trial=1))
+        assert [r["trial"] for r in store.rows("demo")] == [0, 1]
+
+    def test_existing_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_row(trial=0, status="error"))
+        store.append(_row(trial=0, status="ok"))
+        keyed = store.existing("demo")
+        assert len(keyed) == 1
+        assert next(iter(keyed.values()))["status"] == "ok"
+
+    def test_aggregate_dedups_logical_trials_across_code_versions(self):
+        # A code change invalidates the cache and the trial is
+        # recomputed; the report must count the logical trial once,
+        # with the newest row winning.
+        old = _row(trial=0, code_version="v-old", metrics={"x": 1.0})
+        new = _row(trial=0, code_version="v-new", metrics={"x": 5.0})
+        agg = aggregate("demo", [old, new])
+        assert agg["totals"]["rows"] == 1
+        (point,) = agg["points"]
+        assert point["trials"] == 1
+        assert point["metrics"]["x"]["mean"] == 5.0
+        assert agg["code_versions"] == ["v-new"]

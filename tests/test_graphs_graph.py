@@ -217,3 +217,59 @@ class TestFromNetworkxRelabelling:
         g = Graph.from_networkx(nxg)
         assert g.n == 3
         assert [g.degree(v) for v in range(3)] == [1, 2, 1]
+
+
+class TestDiameterBackends:
+    """Graph.diameter/eccentricity on the CSR kernel vs python BFS."""
+
+    CASES = [
+        Graph(0, []),
+        Graph(1, []),
+        Graph(2, []),
+        Graph(5, [(0, 1), (1, 2), (3, 4)]),
+        Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+    ]
+
+    def test_diameter_matches_python(self):
+        import numpy as np
+
+        from repro.graphs import grid_graph, random_tree
+
+        graphs = self.CASES + [
+            grid_graph(5, 6),
+            random_tree(30, np.random.default_rng(1)),
+        ]
+        for graph in graphs:
+            assert graph.diameter() == graph.diameter(backend="csr"), graph
+
+    def test_eccentricity_matches_python(self):
+        for graph in self.CASES:
+            for v in range(graph.n):
+                assert graph.eccentricity(v) == graph.eccentricity(
+                    v, backend="csr"
+                ), (graph, v)
+
+    def test_strong_diameter_backend(self):
+        from repro.graphs import grid_graph
+
+        graph = grid_graph(4, 4)
+        subset = [0, 1, 2, 5, 6]
+        assert graph.strong_diameter(subset) == graph.strong_diameter(
+            subset, backend="csr"
+        )
+
+    def test_csr_eccentricities_batch(self):
+        import numpy as np
+
+        from repro.graphs import grid_graph
+
+        graph = grid_graph(4, 5)
+        ecc = graph.csr().eccentricities()
+        assert ecc.shape == (20,)
+        assert [graph.eccentricity(v) for v in range(graph.n)] == ecc.tolist()
+        disconnected = Graph(3, [(0, 1)])
+        assert np.isinf(disconnected.csr().eccentricities()).all()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 1)]).diameter(backend="bogus")
