@@ -118,6 +118,7 @@ def grow_and_carve_packing(
     interval: Interval,
     remaining: Set[int],
     cache: Optional[SolveCache] = None,
+    backend: str = "python",
 ) -> CarveOutcome:
     """Algorithm 4: delete the middle layer of the lightest 3-window.
 
@@ -126,10 +127,14 @@ def grow_and_carve_packing(
     local optimum ``P^local`` of ``N^{b-1}(C)`` (within the residual)
     scores each window; the middle layer ``S_{j*+1}`` of the lightest
     window is deleted and ``N^{j*}(C)`` removed.
+
+    ``backend`` selects the gather engine as in :func:`grow_and_carve`;
+    with ``"csr"``, ``remaining`` may be a precomputed boolean residual
+    mask shared across the iteration's carves.
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b - 1, within=remaining)
+    gathered = gather_ball(graph, centers, b - 1, within=remaining, backend=backend)
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(
@@ -176,6 +181,7 @@ def grow_and_carve_covering(
     remaining: Set[int],
     fixed_ones: Set[int],
     cache: Optional[SolveCache] = None,
+    backend: str = "python",
 ) -> CarveOutcome:
     """Algorithm 7: fix the lightest odd layer pair, remove ``N^{j*}``.
 
@@ -186,10 +192,14 @@ def grow_and_carve_covering(
     (supports span at most two consecutive BFS layers) and is therefore
     satisfied by the commitment.  Only ``N^{j*}`` is removed — the
     pair's outer layer stays in the residual graph.
+
+    ``backend`` selects the gather engine as in :func:`grow_and_carve`;
+    with ``"csr"``, ``remaining`` may be a precomputed boolean residual
+    mask shared across the iteration's carves.
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b, within=remaining)
+    gathered = gather_ball(graph, centers, b, within=remaining, backend=backend)
     layers = gathered.layers
     if gathered.depth_reached < a + 1:
         return CarveOutcome(

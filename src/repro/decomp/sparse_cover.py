@@ -26,12 +26,45 @@ from repro.decomp.shifts import (
     within_one_sources,
 )
 from repro.decomp.types import SparseCover
+from repro.graphs.csr import check_backend
 from repro.graphs.hypergraph import Hypergraph
 from repro.ilp.exact import SolveCache, solve_covering_exact
 from repro.ilp.instance import CoveringInstance
 from repro.local.gather import RoundLedger
 from repro.util.rng import SeedLike
 from repro.util.validation import check_positive, require
+
+
+def _within_one_members_csr(
+    graph, shifts: Sequence[float], vertices, within: Optional[Set[int]]
+) -> Dict[int, Set[int]]:
+    """The Lemma C.2 membership map via batched CSR distances.
+
+    Reproduces the heap flood's record values exactly: a token's value
+    at distance ``d`` is ``d`` successive ``- 1.0`` float decrements of
+    the shift (not ``shift - d``, which rounds differently), so the
+    within-1 comparisons agree bit for bit with
+    :func:`~repro.decomp.shifts.shifted_flood`.  Materializes the
+    ``|within| x n`` distance matrix — fine at covering-instance scale,
+    not meant for the 10^5-vertex regime.
+    """
+    import numpy as np
+
+    src = np.fromiter(vertices, dtype=np.int64)
+    if src.size == 0:
+        return {}
+    dist = graph.csr().distances_from(src, within=within)[:, src]
+    shift_arr = np.asarray([shifts[int(u)] for u in src], dtype=np.float64)
+    value = np.where(dist >= 0, shift_arr[:, None], -np.inf)
+    top = int(dist.max()) if dist.size else 0
+    for hop in range(1, top + 1):
+        value[dist >= hop] -= 1.0
+    best = value.max(axis=0)
+    qualify = value >= best[None, :] - 1.0
+    members: Dict[int, Set[int]] = {}
+    for ui, vi in zip(*np.nonzero(qualify)):
+        members.setdefault(int(src[ui]), set()).add(int(src[vi]))
+    return members
 
 
 def sparse_cover(
@@ -41,14 +74,22 @@ def sparse_cover(
     seed: SeedLike = None,
     within: Optional[Set[int]] = None,
     shifts: Optional[Sequence[float]] = None,
+    backend: str = "python",
 ) -> SparseCover:
     """Compute a Lemma C.2 sparse cover of ``hypergraph``.
 
     Distances are measured in the primal graph (hypergraph LOCAL
     model).  When ``within`` restricts to a residual vertex set, the
     coverage guarantee applies to hyperedges fully inside it.
+
+    ``backend="csr"`` derives the within-1 membership from batched CSR
+    distance rows instead of the keep-all heap flood; the clusters are
+    identical (property-tested).  ``"python"`` stays the default: the
+    flood's keep-all record lists are the reference semantics and the
+    covering instances this feeds are far below kernel scale.
     """
     check_positive("lam", lam)
+    check_backend(backend)
     graph = hypergraph.primal_graph()
     n = graph.n
     ntilde = ntilde if ntilde is not None else max(n, 2)
@@ -57,12 +98,15 @@ def sparse_cover(
         shifts = sample_shifts(n, lam, ntilde, seed)
     else:
         require(len(shifts) == n, "need one shift per vertex")
-    records = shifted_flood(graph, list(shifts), keep=None, within=within)
-    members: Dict[int, Set[int]] = {}
     vertices = sorted(within) if within is not None else range(n)
-    for v in vertices:
-        for rec in within_one_sources(records[v]):
-            members.setdefault(rec.source, set()).add(v)
+    if backend == "csr":
+        members = _within_one_members_csr(graph, list(shifts), vertices, within)
+    else:
+        records = shifted_flood(graph, list(shifts), keep=None, within=within)
+        members = {}
+        for v in vertices:
+            for rec in within_one_sources(records[v]):
+                members.setdefault(rec.source, set()).add(v)
     centers = sorted(members)
     ledger = RoundLedger()
     nominal = math.ceil(4.0 * math.log(ntilde) / lam)
@@ -105,6 +149,7 @@ def solve_covering_by_sparse_cover(
     edge_indices: Optional[Sequence[int]] = None,
     fixed_ones: Set[int] = frozenset(),
     cache: Optional[SolveCache] = None,
+    backend: str = "python",
 ) -> Tuple[Set[int], SparseCover]:
     """Lemma C.3: cover the constraints, solve locally, take the OR.
 
@@ -118,6 +163,8 @@ def solve_covering_by_sparse_cover(
     fixed_ones:
         Variables already committed to one; their contribution reduces
         the local bounds and they are excluded from the returned set.
+    backend:
+        Forwarded to :func:`sparse_cover`.
 
     Returns the selected variable set (excluding ``fixed_ones``) and
     the sparse cover used.
@@ -128,7 +175,7 @@ def solve_covering_by_sparse_cover(
     else:
         within_set = set(within)
     cover = sparse_cover(
-        hypergraph, lam, ntilde=ntilde, seed=seed, within=within_set
+        hypergraph, lam, ntilde=ntilde, seed=seed, within=within_set, backend=backend
     )
     if edge_indices is None:
         edge_indices = [

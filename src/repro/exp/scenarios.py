@@ -256,10 +256,21 @@ def _f_hub(rng, hubs, spokes):
     return hub_and_spokes(int(hubs), int(spokes))
 
 
+@_family(r"geometric-(\d+)")
+def _f_geometric(rng, n):
+    """Unit-disk graph at constant expected degree (~6: the connectivity
+    sweet spot for wireless-topology benchmarks), patched connected."""
+    from repro.graphs import random_geometric
+
+    n = int(n)
+    radius = math.sqrt(6.0 / (math.pi * max(n, 1)))
+    return random_geometric(n, radius, rng, connect=True)
+
+
 def family_names_help() -> str:
     return (
         "grid-RxC, torus-RxC, cycle-N, path-N, clique-N, caterpillar-SxL, "
-        "random-D-regular-N, random-tree-N, er-N, hubspokes-HxS"
+        "random-D-regular-N, random-tree-N, er-N, hubspokes-HxS, geometric-N"
     )
 
 
@@ -333,10 +344,15 @@ def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, A
 
 @scenario(
     name="ldd-scale",
-    description="LDD trial sweep at n = 10^5 (array-backed generators + "
-    "CSR kernels; weak-diameter audit skipped at this size)",
+    description="LDD trial sweep at n = 10^5..3*10^5 plus a unit-disk "
+    "family (array-backed generators + saturation-aware CSR kernels; "
+    "weak-diameter audit skipped at these sizes)",
     grid={
-        "family": ("random-3-regular-100000",),
+        "family": (
+            "random-3-regular-100000",
+            "random-3-regular-300000",
+            "geometric-30000",
+        ),
         "eps": (0.2,),
     },
     trials=2,

@@ -52,6 +52,17 @@ _CUTOFF = -1.0
 #: source-chunk width of the packed batched kernels.
 _GATHER_BUDGET_BYTES = 64 << 20
 
+#: The degree-padded neighbor table is built only while its footprint
+#: stays within this factor of the CSR arrays; skewed degree
+#: distributions (stars, hubs) fall back to the segmented reduceat.
+_PAD_WASTE_FACTOR = 8
+
+#: Bit patterns of every byte value, MSB first — matches the packed
+#: column layout of :meth:`CsrGraph._seed_packed` / ``np.unpackbits``.
+_BYTE_BITS = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).astype(np.float64)
+
 
 def check_backend(backend: str) -> None:
     """Validate a ``backend=`` argument."""
@@ -59,6 +70,110 @@ def check_backend(backend: str) -> None:
         backend in BACKENDS,
         f"unknown backend {backend!r}; expected one of {BACKENDS}",
     )
+
+
+def _column_weights(packed: np.ndarray, weights: Optional[np.ndarray]) -> np.ndarray:
+    """Per-column totals of a packed (n, W) uint64 block.
+
+    Unweighted, each column's bit count; weighted, the sum of
+    ``weights`` over its set bits.  The unweighted path histograms byte
+    values per byte column and expands through the 256×8 bit table,
+    which avoids materializing the (n, 64 W) boolean matrix that
+    dominated the original kernel's epilogue at chunk width.
+    """
+    byte_view = np.ascontiguousarray(packed).view(np.uint8)
+    rows, nbytes = byte_view.shape
+    if weights is not None:
+        unpacked = np.unpackbits(byte_view, axis=-1).astype(bool)
+        return weights @ unpacked
+    totals = np.empty(nbytes * 8, dtype=np.float64)
+    # Block the histogram so the int64 index scratch stays ~32 MB even
+    # for full-width chunks of 10^5-vertex graphs.
+    block = max(1, (4 << 20) // max(1, rows))
+    for lo in range(0, nbytes, block):
+        cols = byte_view[:, lo : lo + block].astype(np.int64)
+        cols += np.arange(cols.shape[1], dtype=np.int64)[None, :] * 256
+        hist = np.bincount(
+            cols.ravel(), minlength=256 * cols.shape[1]
+        ).reshape(cols.shape[1], 256)
+        totals[8 * lo : 8 * (lo + cols.shape[1])] = (hist @ _BYTE_BITS).ravel()
+    return totals
+
+
+class _PackedSweep:
+    """Preallocated expansion engine for one packed multi-source BFS.
+
+    An instance serves a fixed word width: :meth:`expand` advances all
+    packed frontiers one synchronous level reusing the same gather and
+    scratch storage every call — the per-level allocations of the
+    original kernel (a fresh ``nnz × W`` gather plus reduceat output
+    per level) dominated its runtime at n = 10^5.  On graphs with a
+    near-uniform degree distribution the segmented
+    ``bitwise_or.reduceat`` is replaced by Δ whole-array gathers
+    through the degree-padded neighbor table
+    (:meth:`CsrGraph._padded_adjacency`), which runs ~5x faster at
+    small Δ because it skips reduceat's per-segment inner loop.
+    """
+
+    __slots__ = ("csr", "words", "pad", "_stage", "_gather", "_reach", "_scratch")
+
+    def __init__(self, csr: "CsrGraph", words: int) -> None:
+        self.csr = csr
+        self.words = words
+        n = csr.n
+        self.pad = csr._padded_adjacency() if csr.nnz else None
+        self._stage = None
+        self._gather = None
+        if self.pad is not None:
+            # Row n is the phantom endpoint of padding slots; it stays
+            # all-zero so padded gathers contribute nothing.
+            self._stage = np.zeros((n + 1, words), dtype=np.uint64)
+        elif csr.nnz:
+            self._gather = np.empty((csr.nnz + 1, words), dtype=np.uint64)
+        self._reach = np.empty((n, words), dtype=np.uint64)
+        self._scratch = np.empty((n, words), dtype=np.uint64)
+
+    def expand(
+        self,
+        frontier: np.ndarray,
+        visited: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """One synchronous level of the packed multi-source BFS.
+
+        ORs every frontier bit into its row's neighbors, prunes
+        already-visited bits, applies ``mask`` and updates ``visited``
+        in place.  Returns the newly-visited bits in an internal buffer
+        that stays valid until the next call — callers may hand it back
+        as the next frontier (the staging copy happens before the
+        buffer is overwritten).
+        """
+        csr = self.csr
+        n = csr.n
+        reach, scratch = self._reach, self._scratch
+        if csr.nnz == 0:
+            reach[:] = 0
+            return reach
+        if self.pad is not None:
+            stage = self._stage
+            stage[:n] = frontier
+            np.take(stage, self.pad[:, 0], axis=0, out=reach)
+            for d in range(1, self.pad.shape[1]):
+                np.take(stage, self.pad[:, d], axis=0, out=scratch)
+                np.bitwise_or(reach, scratch, out=reach)
+        else:
+            gathered = self._gather
+            np.take(frontier, csr._gather_index, axis=0, out=gathered)
+            gathered[-1] = 0  # padding row: keeps the last segment harmless
+            np.bitwise_or.reduceat(gathered, csr._starts, axis=0, out=reach)
+            if csr._zero_degree is not None:
+                reach[csr._zero_degree] = 0
+        np.invert(visited, out=scratch)
+        np.bitwise_and(reach, scratch, out=reach)
+        if mask is not None:
+            reach[~mask] = 0
+        np.bitwise_or(visited, reach, out=visited)
+        return reach
 
 
 def _merge_top2_candidate(state1, state2, cand):
@@ -113,6 +228,7 @@ class CsrGraph:
         "_gather_index",
         "_starts",
         "_zero_degree",
+        "_padded",
     )
 
     def __init__(self, graph) -> None:
@@ -145,6 +261,7 @@ class CsrGraph:
         self._starts = indptr[:-1]
         zero = degrees == 0
         self._zero_degree = np.nonzero(zero)[0] if zero.any() else None
+        self._padded = False  # degree-padded table, built lazily
 
     # ------------------------------------------------------------------
     # Internals
@@ -191,32 +308,27 @@ class CsrGraph:
         pos = np.arange(total, dtype=np.int64) + np.repeat(starts - excl, counts)
         return self.indices[pos]
 
-    def _expand_packed(
-        self,
-        frontier: np.ndarray,
-        visited: np.ndarray,
-        mask: Optional[np.ndarray],
-    ) -> np.ndarray:
-        """One synchronous level of the packed multi-source BFS.
+    def _padded_adjacency(self) -> Optional[np.ndarray]:
+        """(n, Δ) neighbor table padded with the phantom vertex ``n``.
 
-        ``frontier``/``visited`` are (n, W) uint64 with sources packed
-        along the second axis (64 per word).  Returns the newly-visited
-        bits and updates ``visited`` in place.  Word-sized elements
-        matter: ``reduceat``'s inner loop is per element, so uint64
-        words are ~8x faster than the same bits as uint8.
+        Row ``v`` lists ``neighbors(v)`` padded to the maximum degree
+        with ``n`` — a phantom endpoint whose packed state the sweep
+        keeps all-zero — so the packed expansion becomes Δ whole-array
+        gathers instead of a segmented reduceat.  Returns ``None`` on
+        skewed degree distributions where the padding would blow the
+        table past ``_PAD_WASTE_FACTOR`` times the CSR size; cached
+        after the first call.
         """
-        if self.nnz == 0:
-            return np.zeros_like(frontier)
-        gathered = frontier[self._gather_index]
-        gathered[-1] = 0  # padding row: keeps the last segment harmless
-        reach = np.bitwise_or.reduceat(gathered, self._starts, axis=0)
-        if self._zero_degree is not None:
-            reach[self._zero_degree] = 0
-        new = reach & ~visited
-        if mask is not None:
-            new[~mask] = 0
-        visited |= new
-        return new
+        if self._padded is False:
+            dmax = int(self.degrees.max()) if self.n else 0
+            if dmax == 0 or dmax * self.n > _PAD_WASTE_FACTOR * max(self.nnz, 1):
+                self._padded = None
+            else:
+                pad = np.full((self.n, dmax), self.n, dtype=np.int64)
+                slots = np.arange(dmax, dtype=np.int64)[None, :] < self.degrees[:, None]
+                pad[slots] = self.indices
+                self._padded = pad
+        return self._padded
 
     def _seed_packed(
         self,
@@ -318,7 +430,10 @@ class CsrGraph:
         ``depths[j]`` the largest BFS level that was non-empty — the
         per-source ``depth_reached`` of the equivalent gather.  This is
         the Algorithm 2 hot path: one packed frontier expansion per BFS
-        level advances every source at once.
+        level advances every source at once, and sources retire from
+        the sweep as soon as they saturate (see :meth:`_ball_chunk`) —
+        a whole-graph ``radius`` costs no more than the graph's
+        diameter in levels.
         """
         require(radius is None or radius >= 0, "radius must be >= 0")
         mask = self._allowed_mask(within)
@@ -338,24 +453,74 @@ class CsrGraph:
         chunk = self._chunk_width(chunk_size)
         for lo in range(0, len(src), chunk):
             s_chunk = src[lo : lo + chunk]
-            count = len(s_chunk)
-            visited = self._seed_packed(s_chunk, count, mask)
-            frontier = visited.copy()
-            r = 0
-            while frontier.any() and (radius is None or r < radius):
-                new = self._expand_packed(frontier, visited, mask)
-                if not new.any():
-                    break
-                r += 1
-                active = self._unpack(np.bitwise_or.reduce(new, axis=0), count)
-                depths[lo : lo + chunk][active] = r
-                frontier = new
-            unpacked = self._unpack(visited, count)
-            if w is None:
-                sizes[lo : lo + chunk] = unpacked.sum(axis=0)
-            else:
-                sizes[lo : lo + chunk] = w @ unpacked
+            hi = lo + len(s_chunk)
+            self._ball_chunk(s_chunk, radius, w, mask, sizes[lo:hi], depths[lo:hi])
         return sizes, depths
+
+    def _ball_chunk(
+        self,
+        s_chunk: np.ndarray,
+        radius: Optional[int],
+        w: Optional[np.ndarray],
+        mask: Optional[np.ndarray],
+        sizes_out: np.ndarray,
+        depths_out: np.ndarray,
+    ) -> None:
+        """Saturation-aware packed sweep of one source chunk.
+
+        A source whose frontier empties has saturated its (residual)
+        component — every remaining radius step is a no-op for it and
+        its ball size is final (``= |component|`` on an unrestricted
+        sweep).  Sources are packed 64 per uint64 word; once every
+        source of a word has saturated, the word's sizes are harvested
+        and the word is dropped from the sweep, shrinking each later
+        level's gather width.  The chunk exits when all words have
+        retired, so a whole-graph ``radius`` never runs past the
+        residual diameter (the old kernel's failure mode at n = 10^5,
+        where ``radius ≈ 900`` met a diameter-20 graph).
+        """
+        count = len(s_chunk)
+        if count == 0:
+            return
+        visited = self._seed_packed(s_chunk, count, mask)
+        words = visited.shape[1]
+        active = np.arange(words, dtype=np.int64)  # original word ids
+        sweep = _PackedSweep(self, words)
+        frontier = visited.copy()
+        lanes = np.arange(64, dtype=np.int64)
+
+        def harvest(packed: np.ndarray, word_ids: np.ndarray) -> None:
+            totals = _column_weights(packed, w)
+            for j, wid in enumerate(word_ids.tolist()):
+                base = wid * 64
+                top = min(count, base + 64)
+                sizes_out[base:top] = totals[64 * j : 64 * j + (top - base)]
+
+        r = 0
+        while active.size and (radius is None or r < radius):
+            new = sweep.expand(frontier, visited, mask)
+            live_words = np.bitwise_or.reduce(new, axis=0)
+            live = live_words != 0
+            if not live.any():
+                break
+            r += 1
+            grew = np.unpackbits(
+                np.ascontiguousarray(live_words).view(np.uint8)
+            ).astype(bool)
+            cols = (active[:, None] * 64 + lanes[None, :]).ravel()[grew]
+            depths_out[cols[cols < count]] = r
+            if live.all():
+                frontier = new
+                continue
+            retired = np.nonzero(~live)[0]
+            harvest(visited[:, retired], active[retired])
+            keep = np.nonzero(live)[0]
+            active = active[keep]
+            visited = np.ascontiguousarray(visited[:, keep])
+            frontier = np.ascontiguousarray(new[:, keep])
+            sweep = _PackedSweep(self, len(keep))
+        if active.size:
+            harvest(visited, active)
 
     def distances_from(
         self,
@@ -382,13 +547,16 @@ class CsrGraph:
         for lo in range(0, len(src), chunk):
             s_chunk = src[lo : lo + chunk]
             count = len(s_chunk)
+            if count == 0:
+                continue
             visited = self._seed_packed(s_chunk, count, mask)
+            sweep = _PackedSweep(self, visited.shape[1])
             block = dist[lo : lo + chunk]
             block[self._unpack(visited, count).T] = 0
             frontier = visited.copy()
             r = 0
-            while frontier.any() and (radius is None or r < radius):
-                new = self._expand_packed(frontier, visited, mask)
+            while radius is None or r < radius:
+                new = sweep.expand(frontier, visited, mask)
                 if not new.any():
                     break
                 r += 1
@@ -416,9 +584,10 @@ class CsrGraph:
             s_chunk = src[lo : lo + chunk]
             count = len(s_chunk)
             visited = self._seed_packed(s_chunk, count, None)
+            sweep = _PackedSweep(self, visited.shape[1])
             frontier = visited.copy()
             for _ in range(k):
-                new = self._expand_packed(frontier, visited, None)
+                new = sweep.expand(frontier, visited, None)
                 if not new.any():
                     break
                 frontier = new
@@ -517,6 +686,57 @@ class CsrGraph:
             block[(dist < 0).any(axis=1)] = np.inf
             ecc[lo:hi] = block
         return ecc
+
+    def girth(
+        self,
+        upper_bound: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> float:
+        """Shortest cycle length (``inf`` for forests).
+
+        Batched counterpart of :meth:`Graph.girth` with the same return
+        value for every input, ``upper_bound`` included.  Per root (in
+        ascending order, distance vectors computed in packed chunks) a
+        shortest cycle through the root is witnessed either by an edge
+        inside one BFS level (odd, ``2d + 1``) or by a vertex with two
+        or more neighbors in the previous level (even, ``2d``) — the
+        exact candidate set of the reference's non-tree-edge scan, so
+        the minimum over roots agrees.  After each root, a running best
+        at or below ``upper_bound`` returns immediately, mirroring the
+        reference's per-root early exit.
+        """
+        best = float("inf")
+        if self.nnz == 0:
+            return best
+        heads = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        once = heads < self.indices  # each undirected edge once
+        us, vs = heads[once], self.indices[once]
+        chunk = self._chunk_width(chunk_size)
+        if upper_bound is not None and chunk_size is None:
+            # The per-root early exit usually fires within the first few
+            # roots; don't pre-pay a whole chunk of BFS distance rows.
+            chunk = min(chunk, 32)
+        for lo in range(0, self.n, chunk):
+            hi = min(self.n, lo + chunk)
+            dist = self.distances_from(range(lo, hi))
+            for row in range(hi - lo):
+                d = dist[row]
+                du, dv = d[us], d[vs]
+                reached = (du >= 0) & (dv >= 0)
+                same = reached & (du == dv)
+                if same.any():
+                    best = min(best, 2 * int(du[same].min()) + 1)
+                cross = reached & (du != dv)
+                upper = np.where(du > dv, us, vs)[cross]
+                if upper.size:
+                    # >= 2 neighbors one level down => even cycle 2d.
+                    repeated = np.bincount(upper, minlength=self.n)[upper] >= 2
+                    if repeated.any():
+                        d_upper = np.maximum(du, dv)[cross]
+                        best = min(best, 2 * int(d_upper[repeated].min()))
+                if upper_bound is not None and best <= upper_bound:
+                    return best
+        return best
 
     # ------------------------------------------------------------------
     # Elkin–Neiman communication core

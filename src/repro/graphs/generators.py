@@ -240,35 +240,69 @@ def random_geometric(
     The standard wireless-network topology model: vertices at uniform
     positions, edges between pairs within ``radius``.  ``connect=True``
     patches disconnected components with an edge between their closest
-    representatives (keeps the generator total for benchmark use).
+    representatives (keeps the generator total for benchmark use); the
+    patched pair is the distance-minimizing one, ties broken toward the
+    lexicographically smallest ``(a, b)`` — a deterministic rule that
+    does not depend on set iteration order.
+
+    Pairwise distances are evaluated in row blocks of bounded memory,
+    with the same float64 arithmetic per pair as the historical scalar
+    loop, so the edge set is exactly the one that loop produced for a
+    given draw of positions.
     """
     rng = ensure_rng(rng)
     require(radius > 0, f"radius must be positive, got {radius}")
     xs = rng.random(n)
     ys = rng.random(n)
-    edges: List[Tuple[int, int]] = []
     r2 = radius * radius
-    for i in range(n):
-        for j in range(i + 1, n):
-            dx = xs[i] - xs[j]
-            dy = ys[i] - ys[j]
-            if dx * dx + dy * dy <= r2:
-                edges.append((i, j))
-    g = Graph(n, edges)
-    if not connect:
+    block = max(1, (4 << 20) // max(1, n))  # ~32 MB of float64 scratch
+    us_parts: List[np.ndarray] = []
+    vs_parts: List[np.ndarray] = []
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        # Columns start at lo: pairs with j < lo were already evaluated
+        # from j's own row block, so the lower triangle is never built.
+        dx = xs[lo:hi, None] - xs[None, lo:]
+        dy = ys[lo:hi, None] - ys[None, lo:]
+        within = dx * dx + dy * dy <= r2
+        # keep each pair once, oriented i < j
+        i_idx, j_idx = np.nonzero(within)
+        i_idx += lo
+        j_idx += lo
+        keep = i_idx < j_idx
+        us_parts.append(i_idx[keep])
+        vs_parts.append(j_idx[keep])
+    g = _graph_from_edge_arrays(
+        n, np.concatenate(us_parts) if us_parts else [], np.concatenate(vs_parts) if vs_parts else []
+    )
+    if not connect or n == 0:
         return g
     components = g.connected_components()
+    if len(components) <= 1:
+        return g
+    # Iteratively bridge the first two components (ordered by smallest
+    # vertex, exactly the discovery order a recomputation would yield).
+    components = sorted(components, key=min)
+    extra_us: List[int] = []
+    extra_vs: List[int] = []
     while len(components) > 1:
-        best = None
-        for a in components[0]:
-            for b in components[1]:
-                d = (xs[a] - xs[b]) ** 2 + (ys[a] - ys[b]) ** 2
-                if best is None or d < best[0]:
-                    best = (d, a, b)
-        edges.append((best[1], best[2]))
-        g = Graph(n, edges)
-        components = g.connected_components()
-    return g
+        a_idx = np.fromiter(sorted(components[0]), dtype=np.int64)
+        b_idx = np.fromiter(sorted(components[1]), dtype=np.int64)
+        dx = xs[a_idx, None] - xs[None, b_idx]
+        dy = ys[a_idx, None] - ys[None, b_idx]
+        d2 = dx * dx + dy * dy
+        flat = int(np.argmin(d2))  # row-major: lexicographic (d, a, b) tie-break
+        a = int(a_idx[flat // len(b_idx)])
+        b = int(b_idx[flat % len(b_idx)])
+        extra_us.append(a)
+        extra_vs.append(b)
+        components[0] = components[0] | components[1]
+        del components[1]
+    return _graph_from_edge_arrays(
+        n,
+        np.concatenate([*us_parts, np.asarray(extra_us, dtype=np.int64)]),
+        np.concatenate([*vs_parts, np.asarray(extra_vs, dtype=np.int64)]),
+    )
 
 
 def caterpillar(spine: int, legs: int) -> Graph:

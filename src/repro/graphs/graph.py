@@ -332,13 +332,23 @@ class Graph:
         sub, _ = self.induced_subgraph(subset)
         return sub.diameter(backend=backend)
 
-    def girth(self, upper_bound: Optional[int] = None) -> float:
+    def girth(
+        self, upper_bound: Optional[int] = None, backend: str = "python"
+    ) -> float:
         """Length of the shortest cycle (``inf`` for forests).
 
         BFS from every vertex; a non-tree edge seen at depth d closes a
         cycle of length at most ``2d + 1``.  ``upper_bound`` allows early
         exit once a cycle at most that long is ruled in.
+        ``backend="csr"`` runs the per-root scans over batched distance
+        chunks (:meth:`~repro.graphs.csr.CsrGraph.girth`); the returned
+        value is identical, ``upper_bound`` early exit included.
         """
+        if backend != "python":
+            from repro.graphs.csr import check_backend
+
+            check_backend(backend)
+            return self.csr().girth(upper_bound)
         best = float("inf")
         for root in range(self.n):
             dist = {root: 0}

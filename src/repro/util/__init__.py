@@ -1,6 +1,6 @@
 """Shared utilities: seeded randomness, table formatting, validation."""
 
-from repro.util.rng import RngStream, ensure_rng, spawn_rngs
+from repro.util.rng import LazyRngStreams, RngStream, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 from repro.util.validation import (
     check_fraction,
@@ -10,6 +10,7 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "LazyRngStreams",
     "RngStream",
     "ensure_rng",
     "spawn_rngs",

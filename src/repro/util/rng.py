@@ -45,15 +45,63 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[RngStream]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    root = _spawn_root(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def _spawn_root(seed: SeedLike) -> np.random.SeedSequence:
+    """The root sequence :func:`spawn_rngs` derives children from."""
     if isinstance(seed, np.random.Generator):
         # Use the generator itself to produce a seed sequence: this keeps
         # the caller's generator as the single source of entropy.
-        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
-    elif isinstance(seed, np.random.SeedSequence):
-        root = seed
-    else:
-        root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+class LazyRngStreams:
+    """Per-index RNG streams derived on first access.
+
+    Stream ``i`` is bit-identical to ``spawn_rngs(seed, count)[i]``:
+    children are addressed through ``spawn_key`` exactly as
+    :meth:`numpy.random.SeedSequence.spawn` does, so a stream depends
+    only on ``(seed, i)`` — never on which other streams were
+    materialized first.  This replaces eager spawning where an
+    algorithm indexes only a sparse subset of a huge stream range (the
+    ``chang_li_ldd`` fix: ``spawn_rngs(seed, 2n + 4)`` cost ~3 s at
+    n = 10^5 while later phases touch a shrinking residual).  Unlike
+    :func:`spawn_rngs` it does not advance the root's spawn counter;
+    callers that interleave it with ``spawn`` on the same root should
+    keep doing one or the other.
+    """
+
+    def __init__(self, seed: SeedLike, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._root = _spawn_root(seed)
+        self._base = self._root.n_children_spawned
+        self._count = count
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> RngStream:
+        if not 0 <= index < self._count:
+            raise IndexError(
+                f"stream index {index} outside [0, {self._count})"
+            )
+        stream = self._cache.get(index)
+        if stream is None:
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=self._root.spawn_key + (self._base + index,),
+                pool_size=self._root.pool_size,
+            )
+            stream = np.random.default_rng(child)
+            self._cache[index] = stream
+        return stream
 
 
 def exponential_capped(rng: RngStream, lam: float, cap: float) -> float:

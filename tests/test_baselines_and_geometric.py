@@ -76,6 +76,88 @@ class TestRandomGeometric:
         sol = solve_packing_exact(inst)
         assert is_independent_set(g, sol.chosen)
 
+    @staticmethod
+    def _historical_scalar_loop(n, radius, rng, connect=True):
+        """The pre-vectorization O(n^2) implementation — the reference
+        for the exact-edge-set guarantee.  (Patch candidates iterate in
+        sorted order, pinning the historical set-order tie-break to the
+        lexicographic rule; ties have probability zero here.)"""
+        from repro.graphs.graph import Graph
+
+        xs = rng.random(n)
+        ys = rng.random(n)
+        edges = []
+        r2 = radius * radius
+        for i in range(n):
+            for j in range(i + 1, n):
+                dx = xs[i] - xs[j]
+                dy = ys[i] - ys[j]
+                if dx * dx + dy * dy <= r2:
+                    edges.append((i, j))
+        g = Graph(n, edges)
+        if not connect:
+            return g
+        components = g.connected_components()
+        while len(components) > 1:
+            best = None
+            for a in sorted(components[0]):
+                for b in sorted(components[1]):
+                    d = (xs[a] - xs[b]) ** 2 + (ys[a] - ys[b]) ** 2
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+            edges.append((best[1], best[2]))
+            g = Graph(n, edges)
+            components = g.connected_components()
+        return g
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_edge_set_vs_scalar_loop(self, seed):
+        """The blocked vectorization evaluates the identical float64
+        predicate per pair, so the edge set matches the historical loop
+        exactly — patched bridges included."""
+        cases = [
+            (40, 0.12, True),
+            (55, 0.08, True),  # usually needs patching
+            (50, 0.1, False),
+            (30, 0.45, True),
+            (64, 0.06, True),
+        ]
+        for n, radius, connect in cases:
+            ref = self._historical_scalar_loop(
+                n, radius, np.random.default_rng(seed), connect
+            )
+            fast = random_geometric(
+                n, radius, np.random.default_rng(seed), connect=connect
+            )
+            assert ref == fast, (seed, n, radius, connect)
+
+    def test_blocked_rows_split_pairs(self):
+        """At n = 3000 the row blocking kicks in (multiple blocks); the
+        edge set must match a one-shot full-matrix evaluation."""
+        n, radius = 3000, 0.02
+        big = random_geometric(n, radius, np.random.default_rng(9), connect=False)
+        rng = np.random.default_rng(9)
+        xs, ys = rng.random(n), rng.random(n)
+        dx = xs[:, None] - xs[None, :]
+        dy = ys[:, None] - ys[None, :]
+        i_idx, j_idx = np.nonzero(dx * dx + dy * dy <= radius * radius)
+        expected = {(int(i), int(j)) for i, j in zip(i_idx, j_idx) if i < j}
+        assert set(big.edges()) == expected
+
+    def test_patch_deterministic_closest_representatives(self):
+        """The bridge picks the distance-minimizing pair with a
+        lexicographic tie-break — stable across runs and independent of
+        set iteration order."""
+        a = random_geometric(70, 0.05, np.random.default_rng(10))
+        b = random_geometric(70, 0.05, np.random.default_rng(10))
+        assert a == b
+        assert len(a.connected_components()) == 1
+
+    def test_empty_and_singleton(self):
+        assert random_geometric(0, 0.2, np.random.default_rng(0)).n == 0
+        g = random_geometric(1, 0.2, np.random.default_rng(0))
+        assert g.n == 1 and g.m == 0
+
 
 class TestEnginePortMapping:
     def test_payloads_arrive_on_correct_ports(self):

@@ -165,3 +165,67 @@ class TestTraceCountsExecutedCarves:
         chang_li_ldd(g, params, seed=5, trace=trace, backend=backend)
         assert all(c >= 0 for c in trace.centers_per_iteration)
         assert len(trace.centers_per_iteration) == params.t + 1
+
+
+class TestLazyRngRegression:
+    """The lazy per-vertex streams must reproduce the historical eager
+    ``spawn_rngs(seed, 2n + 4)`` decomposition bit for bit."""
+
+    @staticmethod
+    def _graphs():
+        rng = np.random.default_rng(11)
+        shattered_edges = [(3 * c + j, 3 * c + j + 1) for c in range(40) for j in range(2)]
+        from repro.graphs.graph import Graph
+        from repro.graphs import random_regular
+
+        return [
+            ("grid", grid_graph(9, 9)),
+            ("regular", random_regular(90, 3, rng)),
+            ("shattered", Graph(120, shattered_edges)),
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_partition_identical_to_eager_streams(self, seed, monkeypatch):
+        """A/B: run once with LazyRngStreams, once with the seed-state
+        eager implementation injected in its place."""
+        import repro.core.ldd as ldd_module
+        from repro.util.rng import spawn_rngs
+
+        for name, graph in self._graphs():
+            params = LddParams.practical(0.3, graph.n)
+            lazy = chang_li_ldd(graph, params, seed=seed)
+            monkeypatch.setattr(
+                ldd_module, "LazyRngStreams", lambda s, count: spawn_rngs(s, count)
+            )
+            eager = chang_li_ldd(graph, params, seed=seed)
+            monkeypatch.undo()
+            assert lazy.deleted == eager.deleted, (name, seed)
+            assert lazy.clusters == eager.clusters, (name, seed)
+
+    def test_generator_seed_consumes_identically(self):
+        """A Generator seed draws one integer in both implementations,
+        so downstream consumers of the same generator stay aligned."""
+        from repro.util.rng import LazyRngStreams, spawn_rngs
+
+        g1, g2 = np.random.default_rng(9), np.random.default_rng(9)
+        eager = spawn_rngs(g1, 12)
+        lazy = LazyRngStreams(g2, 12)
+        assert g1.bit_generator.state == g2.bit_generator.state
+        for i in (11, 0, 5, 5):
+            assert eager[i].random() == lazy[i].random()
+
+    def test_lazy_stream_bounds_and_independence_of_access_order(self):
+        from repro.util.rng import LazyRngStreams, spawn_rngs
+
+        eager = [r.random() for r in spawn_rngs(31337, 20)]
+        forward = LazyRngStreams(31337, 20)
+        backward = LazyRngStreams(31337, 20)
+        assert [forward[i].random() for i in range(20)] == eager
+        assert [backward[i].random() for i in reversed(range(20))] == eager[::-1]
+        with pytest.raises(IndexError):
+            forward[20]
+        with pytest.raises(IndexError):
+            forward[-1]
+        with pytest.raises(ValueError):
+            LazyRngStreams(0, -1)
+        assert len(forward) == 20

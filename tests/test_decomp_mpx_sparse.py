@@ -162,3 +162,57 @@ class TestCoveringBySparseCover:
         )
         assert inst.is_feasible(chosen | fixed)
         assert not (chosen & fixed)
+
+
+class TestBackendEquivalence:
+    """csr kernels vs the heap-flood reference for MPX and sparse cover."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("lam", [0.1, 0.3, 1.0])
+    def test_mpx_backends_identical(self, seed, lam):
+        from repro.decomp import sample_shifts
+
+        rng = np.random.default_rng(seed)
+        graphs = [
+            erdos_renyi_connected(28, 0.1, rng),
+            grid_graph(5, 6),
+            cycle_graph(24),
+        ]
+        for g in graphs:
+            shifts = sample_shifts(g.n, lam, max(g.n, 2), seed=seed)
+            ref = mpx_decomposition(g, lam, shifts=shifts)
+            fast = mpx_decomposition(g, lam, shifts=shifts, backend="csr")
+            assert ref.owner == fast.owner
+            assert ref.clusters == fast.clusters
+            assert ref.centers == fast.centers
+            assert ref.cut_edges == fast.cut_edges
+            assert (
+                ref.ledger.effective_rounds == fast.ledger.effective_rounds
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("lam", [0.05, 0.2, 0.7])
+    def test_sparse_cover_backends_identical(self, seed, lam):
+        from repro.decomp import sample_shifts
+
+        rng = np.random.default_rng(100 + seed)
+        inst = min_dominating_set_ilp(erdos_renyi_connected(26, 0.12, rng))
+        hg = inst.hypergraph()
+        n = hg.primal_graph().n
+        shifts = sample_shifts(n, lam, max(n, 2), seed=seed)
+        within_options = [None, set(range(0, n, 2)), set(range(n // 2))]
+        for within in within_options:
+            ref = sparse_cover(hg, lam, shifts=shifts, within=within)
+            fast = sparse_cover(
+                hg, lam, shifts=shifts, within=within, backend="csr"
+            )
+            assert ref.clusters == fast.clusters, (seed, lam, within)
+            assert ref.centers == fast.centers
+
+    def test_unknown_backend_rejected(self):
+        g = cycle_graph(6)
+        with pytest.raises(ValueError, match="backend"):
+            mpx_decomposition(g, 0.3, seed=0, backend="gpu")
+        hg = min_vertex_cover_ilp(g).hypergraph()
+        with pytest.raises(ValueError, match="backend"):
+            sparse_cover(hg, 0.3, seed=0, backend="gpu")

@@ -198,6 +198,146 @@ class TestKernelEquivalence:
                     assert b2s[v] == -1
 
 
+def _shattered_graph(num_components=10000):
+    """A graph shattered into path-3 components (the post-carve shape)."""
+    edges_u = []
+    edges_v = []
+    for c in range(num_components):
+        base = 3 * c
+        edges_u += [base, base + 1]
+        edges_v += [base + 1, base + 2]
+    return Graph(3 * num_components, zip(edges_u, edges_v))
+
+
+class TestSaturationShortcut:
+    """The whole-graph-radius path: every ball saturates its component.
+
+    The kernel retires sources (packed 64 per word) as soon as their
+    frontier empties and must report exactly the sizes and depths of
+    the exhaustive sweep — including with a residual mask, weights,
+    and any chunking that splits or straddles the retirement words.
+    """
+
+    @pytest.mark.parametrize("name,graph", POOL[3::10])
+    @pytest.mark.parametrize("radius", [None, 10**6])
+    def test_unbounded_radius_equals_python_gather(self, name, graph, radius):
+        sizes, depths = graph.csr().all_ball_sizes(radius)
+        for v in range(graph.n):
+            ref = gather_ball(graph, [v], graph.n + 1)
+            assert sizes[v] == len(ref.ball), (name, v)
+            assert depths[v] == ref.depth_reached, (name, v)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 63, 64, 65, 128])
+    @pytest.mark.parametrize("name,graph", POOL[5::25])
+    def test_chunking_invariance_at_saturation(self, name, graph, chunk_size):
+        ref_sizes, ref_depths = graph.csr().all_ball_sizes(None)
+        sizes, depths = graph.csr().all_ball_sizes(None, chunk_size=chunk_size)
+        assert sizes.tolist() == ref_sizes.tolist()
+        assert depths.tolist() == ref_depths.tolist()
+
+    @pytest.mark.parametrize("name,graph", POOL[9::25])
+    def test_residual_mask_saturation(self, name, graph):
+        rng = _rng(name + "-sat")
+        within = set(
+            rng.choice(graph.n, size=max(1, graph.n // 2), replace=False).tolist()
+        )
+        sizes, depths = graph.csr().all_ball_sizes(None, within=within)
+        for v in range(graph.n):
+            ref = gather_ball(graph, [v], graph.n + 1, within=within)
+            assert sizes[v] == len(ref.ball), (name, v)
+            assert depths[v] == ref.depth_reached, (name, v)
+
+    @pytest.mark.parametrize("name,graph", POOL[11::25])
+    def test_weighted_saturation(self, name, graph):
+        rng = _rng(name + "-wsat")
+        weights = rng.random(graph.n)
+        sizes, _ = graph.csr().all_ball_sizes(None, weights=weights)
+        for v in range(graph.n):
+            ball = gather_ball(graph, [v], graph.n + 1).ball
+            assert sizes[v] == pytest.approx(sum(weights[u] for u in ball))
+
+    def test_shattered_components_retire_early(self):
+        """10^4 path-3 components: every source saturates by depth 2, so
+        the packed sweep must harvest component sizes and stop instead
+        of grinding a whole-graph radius."""
+        graph = _shattered_graph(10000)
+        sizes, depths = graph.csr().all_ball_sizes(10**9)
+        assert sizes.tolist() == [3.0] * graph.n
+        expected_depth = [2, 1, 2] * 10000  # endpoints reach across, middles in 1
+        assert depths.tolist() == expected_depth
+        # chunk boundaries interleaving many saturated words
+        sizes2, depths2 = graph.csr().all_ball_sizes(10**9, chunk_size=100)
+        assert sizes2.tolist() == sizes.tolist()
+        assert depths2.tolist() == depths.tolist()
+
+    def test_shattered_with_straggler_component(self):
+        """One long path among tiny components: the tiny components'
+        words retire and drop out of the sweep while the straggler's
+        word keeps expanding to its full eccentricity."""
+        comps = _shattered_graph(200)
+        long_path = Graph(120, [(i, i + 1) for i in range(119)])
+        graph = comps.union_disjoint(long_path)
+        sizes, depths = graph.csr().all_ball_sizes(None, chunk_size=256)
+        assert sizes[: comps.n].tolist() == [3.0] * comps.n
+        assert sizes[comps.n :].tolist() == [120.0] * 120
+        assert depths[comps.n] == 119  # path endpoint eccentricity
+        assert int(depths.max()) == 119
+
+    def test_skewed_degrees_fall_back_to_reduceat(self):
+        """A star's padded table would be quadratic; the kernel must
+        decline it and stay exact on the segmented-reduceat path."""
+        from repro.graphs import star_graph
+
+        graph = star_graph(200)
+        assert graph.csr()._padded_adjacency() is None
+        sizes, depths = graph.csr().all_ball_sizes(None)
+        assert sizes.tolist() == [200.0] * 200
+        assert depths.tolist() == [1] + [2] * 199
+
+    def test_padded_table_built_for_regular_degrees(self):
+        graph = grid_graph(8, 8)
+        pad = graph.csr()._padded_adjacency()
+        assert pad is not None and pad.shape == (64, 4)
+        # phantom slots point at the all-zero row n
+        assert (pad[(pad >= 0)] <= graph.n).all()
+
+
+class TestGirth:
+    """CsrGraph.girth vs the per-vertex-BFS reference, value-identical."""
+
+    @pytest.mark.parametrize("name,graph", POOL[::4])
+    def test_matches_reference(self, name, graph):
+        assert graph.girth(backend="csr") == graph.girth()
+
+    @pytest.mark.parametrize("name,graph", POOL[2::10])
+    def test_upper_bound_early_exit_matches(self, name, graph):
+        for ub in (3, 4, 6, 10):
+            assert graph.girth(upper_bound=ub, backend="csr") == graph.girth(
+                upper_bound=ub
+            ), (name, ub)
+
+    def test_named_graphs(self):
+        from repro.graphs.highgirth import mcgee_graph, petersen_graph
+
+        assert petersen_graph().girth(backend="csr") == 5
+        assert mcgee_graph().girth(backend="csr") == 7
+        assert cycle_graph(9).girth(backend="csr") == 9
+        assert grid_graph(3, 4).girth(backend="csr") == 4
+
+    def test_forest_and_edge_cases(self):
+        from repro.graphs import path_graph, random_tree
+
+        assert path_graph(6).girth(backend="csr") == float("inf")
+        assert Graph(0).girth(backend="csr") == float("inf")
+        assert Graph(5).girth(backend="csr") == float("inf")
+        tree = random_tree(40, np.random.default_rng(3))
+        assert tree.girth(backend="csr") == tree.girth() == float("inf")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            cycle_graph(5).girth(backend="gpu")
+
+
 class TestCsrEdgeCases:
     def test_empty_graph(self):
         g = Graph(0)
