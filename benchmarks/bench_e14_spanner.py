@@ -11,47 +11,47 @@ growing k shrinks the spanner, with the asymptotic n^{1+1/k} density
 only emerging at larger n (reported, not asserted); (c) the size
 *distribution* across seeds — the max/mean gap is the expectation-vs-
 tail phenomenon behind the open question.
+
+Thin assertion layer over the ``spanner`` registry scenario (the tail
+probe reuses it at a 40-trial override); ``python -m repro.exp run
+spanner`` runs the same sweep sharded and persisted.
 """
 
-import numpy as np
-import pytest
-
 from conftest import claim
-from repro.decomp.spanner import shift_spanner, verify_stretch
-from repro.graphs import complete_graph, erdos_renyi_connected, random_regular
+from repro.decomp.spanner import shift_spanner
+from repro.exp import get, run_scenario
+from repro.exp.scenarios import _spanner_graph
 from repro.util.tables import Table
+
+SCENARIO = get("spanner")
+GRAPH_ORDER = ("clique-36", "er-48-p30", "6-regular-48")
 
 
 def test_e14_stretch_and_tradeoff(benchmark):
-    rng = np.random.default_rng(9)
-    graphs = [
-        ("K_36", complete_graph(36)),
-        ("ER-48", erdos_renyi_connected(48, 0.3, rng)),
-        ("6-regular-48", random_regular(48, 6, rng)),
-    ]
+    result = run_scenario(SCENARIO, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["graph", "m", "k", "stretch 2k-1", "mean size", "max size", "violations"],
         title="E14a: shift spanners — stretch (asserted) and size trade-off",
     )
-    for name, graph in graphs:
-        means = {}
+    means = {}
+    grouped = {
+        (rows[0]["params"]["graph"], rows[0]["params"]["k"]): rows
+        for rows in result.by_params().values()
+    }
+    for name in GRAPH_ORDER:
         for k in (3, 6):
-            sizes = []
-            violations = 0
-            for seed in range(8):
-                result = shift_spanner(graph, k, seed=seed)
-                sizes.append(result.size)
-                violations += len(
-                    verify_stretch(graph, result.edges, 2 * k - 1)
-                )
-            means[k] = sum(sizes) / len(sizes)
+            rows = grouped[(name, k)]
+            sizes = [r["metrics"]["size"] for r in rows]
+            violations = sum(r["metrics"]["stretch_violations"] for r in rows)
+            means[(name, k)] = sum(sizes) / len(sizes)
             table.add_row(
                 [
                     name,
-                    graph.m,
+                    rows[0]["metrics"]["m"],
                     k,
                     2 * k - 1,
-                    f"{means[k]:.0f}",
+                    f"{means[(name, k)]:.0f}",
                     max(sizes),
                     violations,
                 ]
@@ -59,8 +59,9 @@ def test_e14_stretch_and_tradeoff(benchmark):
             assert violations == 0, (name, k)
         # Stretch buys size: k = 6 spanners are smaller than k = 3 ones
         # on dense inputs (sparse inputs have nothing to drop).
-        if graph.m > 2 * graph.n:
-            assert means[6] <= means[3], name
+        rows = grouped[(name, 3)]
+        if rows[0]["metrics"]["m"] > 2 * rows[0]["metrics"]["n"]:
+            assert means[(name, 6)] <= means[(name, 3)], name
     table.print()
     claim(
         "(2k-1)-stretch spanners from exponential shifts ([EN18]); "
@@ -69,21 +70,29 @@ def test_e14_stretch_and_tradeoff(benchmark):
         "construction); size falls as the stretch budget grows on dense "
         "inputs",
     )
-    g = complete_graph(24)
+    g = _spanner_graph("clique-36")
     benchmark(lambda: shift_spanner(g, 3, seed=0))
 
 
 def test_e14_size_tail_vs_expectation(benchmark):
     """Quantify the expectation-vs-tail gap that motivates porting the
     paper's (C1) program to spanners."""
-    g = complete_graph(36)
     k = 6
-    sizes = [shift_spanner(g, k, seed=s).size for s in range(40)]
+    result = run_scenario(
+        SCENARIO,
+        workers=0,
+        root_seed=2,
+        trials=40,
+        overrides={"graph": ["clique-36"], "k": [k]},
+    )
+    assert result.statuses == {"ok": len(result.rows)}
+    sizes = [r["metrics"]["size"] for r in result.rows]
+    m = result.rows[0]["metrics"]["m"]
     mean = sum(sizes) / len(sizes)
     p95 = sorted(sizes)[int(0.95 * len(sizes))]
     print(
         f"\n  K_36 spanner sizes over 40 seeds (k={k}): mean {mean:.0f}, "
-        f"p95 {p95}, max {max(sizes)} (input m = {g.m})"
+        f"p95 {p95}, max {max(sizes)} (input m = {m})"
     )
     claim(
         "the [EN18] size bound is an expectation; its upper tail is "
@@ -92,4 +101,5 @@ def test_e14_size_tail_vs_expectation(benchmark):
         f"{max(sizes) / mean:.2f}x tail over the mean",
     )
     assert p95 <= 3.0 * mean
+    g = _spanner_graph("clique-36")
     benchmark(lambda: shift_spanner(g, k, seed=1))

@@ -5,65 +5,69 @@ n-dependence is a single log factor — while the network-decomposition
 route of [GKM17] pays O(log³ n/ε).  Growing n should therefore widen
 the gap by ~log² n; growing 1/ε scales both linearly.
 
-Measured: nominal round formulas (and measured GKM ledgers) on cycles
-of doubling size and across ε; log-linear fits of the CL rounds in
-log n; growth-factor comparison CL vs GKM.
+Measured: nominal round formulas (and measured GKM ledgers at
+n ≤ 128) on cycles of doubling size and across ε; log-linear fits of
+the CL rounds in log n; growth-factor comparison CL vs GKM.
+
+Thin assertion layer over the ``round-complexity`` registry scenario —
+the trial loop, seeding and metrics live in :mod:`repro.exp.scenarios`
+(including the fix that builds the cycle/ILP instance only on the
+measured ``n <= 128`` branch); ``python -m repro.exp run
+round-complexity`` runs the same sweep sharded and persisted.
 """
-
-import math
-
-import numpy as np
-import pytest
 
 from conftest import claim
 from repro.analysis import fit_against, loglinear_slope
 from repro.core import LddParams, chang_li_ldd
-from repro.decomp import gkm_solve_packing
+from repro.exp import get, run_scenario
 from repro.graphs import cycle_graph
-from repro.ilp import SolveCache, max_independent_set_ilp
 from repro.util.tables import Table
 
-SIZES = [64, 128, 256, 512]
-EPSILONS = [0.4, 0.3, 0.2, 0.1]
+SCENARIO = get("round-complexity")
 
 
-def test_e2_rounds_vs_n(benchmark, cache):
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_e2_rounds_vs_n(benchmark):
+    result = run_scenario(SCENARIO, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     eps = 0.3
-    cl_rounds = []
-    gkm_rounds = []
-    table = Table(
-        ["n", "CL nominal (Thm 1.1)", "GKM nominal", "GKM/CL"],
-        title="E2a: rounds vs n at eps = 0.3 (cycle graphs)",
+    points = sorted(
+        (rows for rows in result.by_params().values() if rows[0]["params"]["eps"] == eps),
+        key=lambda rows: rows[0]["params"]["n"],
     )
-    for n in SIZES:
-        params = LddParams.practical(eps, n)
-        cl = params.nominal_rounds()
+    table = Table(
+        ["n", "CL nominal (Thm 1.1)", "GKM nominal", "GKM/CL", "measured"],
+        title=f"E2a: rounds vs n at eps = {eps} (cycle MIS)",
+    )
+    sizes, cl_rounds, gkm_rounds = [], [], []
+    for rows in points:
+        n = rows[0]["params"]["n"]
+        cl = rows[0]["metrics"]["cl_nominal_rounds"]
+        gkm = _mean([r["metrics"]["gkm_nominal_rounds"] for r in rows])
+        sizes.append(n)
         cl_rounds.append(cl)
-        graph = cycle_graph(min(n, 128))  # run GKM on affordable sizes
-        if n <= 128:
-            inst = max_independent_set_ilp(graph)
-            gkm = gkm_solve_packing(
-                inst, eps, seed=1, scale=0.35, cache=cache
-            ).ledger.nominal_rounds
-        else:
-            # Extrapolate GKM's formula: ND phases ~ log n on G^{2k},
-            # each costing 2k = Theta(log n / eps) base rounds, times
-            # O(log n) colors: k * log^2 n.
-            k = max(2, math.ceil(0.35 * math.log(n) / eps))
-            gkm = int(
-                k * (math.ceil(math.log2(n)) ** 2) * 4
-            )
         gkm_rounds.append(gkm)
-        table.add_row([n, cl, gkm, f"{gkm / cl:.2f}"])
+        table.add_row(
+            [
+                n,
+                cl,
+                f"{gkm:.0f}",
+                f"{gkm / cl:.2f}",
+                "ledger" if rows[0]["metrics"]["gkm_measured"] else "formula",
+            ]
+        )
     table.print()
-    slope, r2 = loglinear_slope(SIZES, cl_rounds)
+    slope, r2 = loglinear_slope(sizes, cl_rounds)
     cl_growth = cl_rounds[-1] / cl_rounds[0]
     gkm_growth = gkm_rounds[-1] / gkm_rounds[0]
     claim(
         "CL rounds scale as a single log n factor; the ND route pays "
         "log^3 n — the gap widens with n",
-        f"CL log-fit r²={r2:.3f} (slope {slope:.1f}); growth over 8x n: "
-        f"CL x{cl_growth:.2f} vs GKM x{gkm_growth:.2f}",
+        f"CL log-fit r²={r2:.3f} (slope {slope:.1f}); growth over "
+        f"{sizes[-1] // sizes[0]}x n: CL x{cl_growth:.2f} vs GKM x{gkm_growth:.2f}",
     )
     assert r2 > 0.95, "CL nominal rounds are not log-linear in n"
     assert gkm_growth > cl_growth, "GKM route should grow faster in n"
@@ -72,23 +76,32 @@ def test_e2_rounds_vs_n(benchmark, cache):
 
 def test_e2_rounds_vs_eps(benchmark):
     n = 256
+    result = run_scenario(
+        SCENARIO, workers=0, root_seed=1, trials=1, overrides={"n": [n]}
+    )
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["eps", "1/eps", "CL nominal rounds"],
-        title="E2b: rounds vs 1/eps at n = 256",
+        title=f"E2b: rounds vs 1/eps at n = {n}",
     )
-    rounds = []
-    for eps in EPSILONS:
-        params = LddParams.practical(eps, n)
-        r = params.nominal_rounds()
+    # Descending eps, so the rounds series must ascend.
+    points = sorted(
+        result.by_params().values(),
+        key=lambda rows: -rows[0]["params"]["eps"],
+    )
+    epsilons, rounds = [], []
+    for rows in points:
+        eps = rows[0]["params"]["eps"]
+        r = rows[0]["metrics"]["cl_nominal_rounds"]
+        epsilons.append(eps)
         rounds.append(r)
         table.add_row([eps, f"{1 / eps:.1f}", r])
     table.print()
-    a, b, r2 = fit_against([1.0 / e for e in EPSILONS], rounds)
+    a, b, r2 = fit_against([1.0 / e for e in epsilons], rounds)
     claim(
         "rounds scale ~ 1/eps at fixed n (up to the log^3(1/eps) factor)",
         f"linear fit rounds ≈ {a:.0f}/eps + {b:.0f}, r² = {r2:.3f}",
     )
-    # EPSILONS is descending, so rounds must ascend.
     assert rounds == sorted(rounds)
     assert r2 > 0.9
     benchmark(lambda: LddParams.practical(0.1, n).nominal_rounds())
@@ -98,18 +111,30 @@ def test_e2_effective_rounds_track_diameter(benchmark):
     """Effective (diameter-capped) rounds on real executions grow with
     the graph diameter, nominal with log n."""
     eps = 0.3
+    result = run_scenario(
+        SCENARIO,
+        workers=0,
+        root_seed=2,
+        overrides={"n": [32, 64, 128], "eps": [eps]},
+    )
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
-        ["n", "diameter", "effective rounds", "nominal rounds"],
+        ["n", "diameter", "mean effective rounds", "nominal rounds"],
         title="E2c: measured effective rounds on cycles",
     )
     effectives = []
-    for n in (32, 64, 128):
-        graph = cycle_graph(n)
-        params = LddParams.practical(eps, n)
-        d = chang_li_ldd(graph, params, seed=2)
-        effectives.append(d.ledger.effective_rounds)
+    for rows in sorted(
+        result.by_params().values(), key=lambda rows: rows[0]["params"]["n"]
+    ):
+        mean_eff = _mean([r["metrics"]["cl_effective_rounds"] for r in rows])
+        effectives.append(mean_eff)
         table.add_row(
-            [n, n // 2, d.ledger.effective_rounds, d.ledger.nominal_rounds]
+            [
+                rows[0]["params"]["n"],
+                rows[0]["metrics"]["diameter"],
+                f"{mean_eff:.0f}",
+                rows[0]["metrics"]["cl_nominal_rounds"],
+            ]
         )
     table.print()
     assert effectives[-1] >= effectives[0]

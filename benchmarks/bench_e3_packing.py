@@ -6,69 +6,48 @@ solution of weight ≥ (1−ε)·OPT with probability 1 − 1/poly(n).
 Measured: the *minimum* ratio across seeds (the w.h.p. form) for
 maximum independent set (unit and weighted), maximum matching and a
 general multi-constraint packing, across ε.
-"""
 
-import numpy as np
-import pytest
+Thin assertion layer over the ``packing-approx`` registry scenario —
+instances, trial loop and metrics live in :mod:`repro.exp.scenarios`
+(the general-form ``ring-capacity-2`` instance included); ``python -m
+repro.exp run packing-approx`` runs the same sweep sharded and
+persisted.
+"""
 
 from conftest import claim
 from repro.analysis import RatioSummary
 from repro.core import solve_packing
-from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph
-from repro.ilp import (
-    Constraint,
-    PackingInstance,
-    max_independent_set_ilp,
-    max_matching_ilp,
-    solve_packing_exact,
-)
+from repro.exp import get, run_scenario
+from repro.exp.scenarios import process_solve_cache
+from repro.graphs import cycle_graph
+from repro.ilp import max_independent_set_ilp
 from repro.util.tables import Table
 
-SEEDS = range(4)
-EPSILONS = [0.4, 0.3, 0.2]
+SCENARIO = get("packing-approx")
 
 
-def _instances():
-    rng = np.random.default_rng(3)
-    cyc = cycle_graph(80)
-    gr = grid_graph(7, 9)
-    er = erdos_renyi_connected(56, 0.07, rng)
-    weights = [float(w) for w in rng.integers(1, 9, size=gr.n)]
-    out = [
-        ("MIS cycle-80", max_independent_set_ilp(cyc)),
-        ("MIS grid-7x9", max_independent_set_ilp(gr)),
-        ("MIS ER-56", max_independent_set_ilp(er)),
-        ("wMIS grid-7x9", max_independent_set_ilp(gr, weights=weights)),
-        ("matching grid-7x9", max_matching_ilp(gr).instance),
-    ]
-    return out
-
-
-def test_e3_packing_guarantee(benchmark, cache):
+def test_e3_packing_guarantee(benchmark):
+    result = run_scenario(SCENARIO, workers=0)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["instance", "eps", "opt", "min ratio", "mean ratio", "target 1-eps"],
         title="E3: Theorem 1.2 packing ratios (min over seeds = w.h.p. claim)",
     )
-    for name, inst in _instances():
-        opt = solve_packing_exact(inst, cache=cache).weight
-        for eps in EPSILONS:
-            ratios = []
-            for seed in SEEDS:
-                result = solve_packing(inst, eps, seed=seed, cache=cache)
-                assert inst.is_feasible(result.chosen), (name, eps, seed)
-                ratios.append(result.weight / opt)
-            summary = RatioSummary.of(ratios)
-            table.add_row(
-                [
-                    name,
-                    eps,
-                    f"{opt:.0f}",
-                    f"{summary.minimum:.3f}",
-                    f"{summary.mean:.3f}",
-                    f"{1 - eps:.2f}",
-                ]
-            )
-            assert summary.minimum >= (1 - eps) - 1e-9, (name, eps)
+    for rows in result.by_params().values():
+        params = rows[0]["params"]
+        summary = RatioSummary.of([r["metrics"]["ratio"] for r in rows])
+        table.add_row(
+            [
+                params["instance"],
+                params["eps"],
+                f"{rows[0]['metrics']['opt']:.0f}",
+                f"{summary.minimum:.3f}",
+                f"{summary.mean:.3f}",
+                f"{1 - params['eps']:.2f}",
+            ]
+        )
+        assert all(r["metrics"]["feasible"] for r in rows), params
+        assert all(r["metrics"]["meets_target"] for r in rows), params
     table.print()
     claim(
         "(1-eps)-approximate packing with probability 1-1/poly(n) "
@@ -76,30 +55,23 @@ def test_e3_packing_guarantee(benchmark, cache):
         "minimum ratio across all instances/seeds met 1-eps every time",
     )
     inst = max_independent_set_ilp(cycle_graph(60))
+    cache = process_solve_cache()
     benchmark(lambda: solve_packing(inst, 0.3, seed=0, cache=cache))
 
 
-def test_e3_general_packing_instance(cache):
+def test_e3_general_packing_instance():
     """A packing ILP that is neither MIS nor matching (fractional
-    capacities, coefficient 2) — exercising the general-form path."""
-    rng = np.random.default_rng(9)
-    n = 40
-    ring = cycle_graph(n)
-    constraints = []
-    for v in range(n):
-        # Each vertex limits itself + both neighbors with capacity 2.
-        u, w = ring.neighbors(v)
-        constraints.append(Constraint({v: 1.0, u: 1.0, w: 1.0}, 2.0))
-    inst = PackingInstance([1.0] * n, constraints, name="ring-capacity-2")
-    opt = solve_packing_exact(inst, cache=cache).weight
-    eps = 0.3
-    ratios = []
-    for seed in range(4):
-        result = solve_packing(inst, eps, seed=seed, cache=cache)
-        assert inst.is_feasible(result.chosen)
-        ratios.append(result.weight / opt)
+    capacities, coefficient 2) — exercising the general-form path
+    through the same registered scenario."""
+    result = run_scenario(
+        SCENARIO, workers=0, overrides={"instance": ["ring-capacity-2"], "eps": [0.3]}
+    )
+    assert result.statuses == {"ok": len(result.rows)}
+    ratios = [r["metrics"]["ratio"] for r in result.rows]
+    opt = result.rows[0]["metrics"]["opt"]
     print(
         f"\n  general packing (b=2 ring): opt={opt:.0f}, "
-        f"min ratio {min(ratios):.3f} vs target {1 - eps:.2f}"
+        f"min ratio {min(ratios):.3f} vs target {1 - 0.3:.2f}"
     )
-    assert min(ratios) >= (1 - eps) - 1e-9
+    assert all(r["metrics"]["feasible"] for r in result.rows)
+    assert min(ratios) >= (1 - 0.3) - 1e-9

@@ -8,73 +8,47 @@ is the reason covering needs the longer Phase 1).
 Measured: the *maximum* ratio across seeds for minimum dominating set
 (unit, weighted, 2-distance), vertex cover, and the hub-and-spokes
 instance that breaks deletion-based approaches.
-"""
 
-import numpy as np
-import pytest
+Thin assertion layer over the ``covering-approx`` registry scenario —
+instances, trial loop and metrics live in :mod:`repro.exp.scenarios`;
+``python -m repro.exp run covering-approx`` runs the same sweep sharded
+and persisted.
+"""
 
 from conftest import claim
 from repro.analysis import RatioSummary
 from repro.core import solve_covering
-from repro.graphs import (
-    caterpillar,
-    cycle_graph,
-    grid_graph,
-    hub_and_spokes,
-)
-from repro.ilp import (
-    min_dominating_set_ilp,
-    min_vertex_cover_ilp,
-    solve_covering_exact,
-)
+from repro.exp import get, run_scenario
+from repro.exp.scenarios import process_solve_cache
+from repro.graphs import cycle_graph
+from repro.ilp import min_dominating_set_ilp
 from repro.util.tables import Table
 
-SEEDS = range(5)
-EPSILONS = [0.4, 0.25]
+SCENARIO = get("covering-approx")
 
 
-def _instances():
-    rng = np.random.default_rng(5)
-    cyc = cycle_graph(60)
-    gr = grid_graph(6, 7)
-    cat = caterpillar(14, 2)
-    hub = hub_and_spokes(5, 5)
-    weights = [float(w) for w in rng.integers(1, 8, size=gr.n)]
-    return [
-        ("MDS cycle-60", min_dominating_set_ilp(cyc)),
-        ("MDS grid-6x7", min_dominating_set_ilp(gr)),
-        ("wMDS grid-6x7", min_dominating_set_ilp(gr, weights=weights)),
-        ("MDS hub-spokes", min_dominating_set_ilp(hub)),
-        ("2-dist MDS caterpillar", min_dominating_set_ilp(cat, k=2)),
-        ("MVC grid-6x7", min_vertex_cover_ilp(gr)),
-    ]
-
-
-def test_e4_covering_guarantee(benchmark, cache):
+def test_e4_covering_guarantee(benchmark):
+    result = run_scenario(SCENARIO, workers=0)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["instance", "eps", "opt", "max ratio", "mean ratio", "target 1+eps"],
         title="E4: Theorem 1.3 covering ratios (max over seeds = w.h.p. claim)",
     )
-    for name, inst in _instances():
-        opt = solve_covering_exact(inst, cache=cache).weight
-        for eps in EPSILONS:
-            ratios = []
-            for seed in SEEDS:
-                result = solve_covering(inst, eps, seed=seed, cache=cache)
-                assert inst.is_feasible(result.chosen), (name, eps, seed)
-                ratios.append(result.weight / opt)
-            summary = RatioSummary.of(ratios)
-            table.add_row(
-                [
-                    name,
-                    eps,
-                    f"{opt:.0f}",
-                    f"{summary.maximum:.3f}",
-                    f"{summary.mean:.3f}",
-                    f"{1 + eps:.2f}",
-                ]
-            )
-            assert summary.maximum <= (1 + eps) + 1e-9, (name, eps)
+    for rows in result.by_params().values():
+        params = rows[0]["params"]
+        summary = RatioSummary.of([r["metrics"]["ratio"] for r in rows])
+        table.add_row(
+            [
+                params["instance"],
+                params["eps"],
+                f"{rows[0]['metrics']['opt']:.0f}",
+                f"{summary.maximum:.3f}",
+                f"{summary.mean:.3f}",
+                f"{1 + params['eps']:.2f}",
+            ]
+        )
+        assert all(r["metrics"]["feasible"] for r in rows), params
+        assert all(r["metrics"]["meets_target"] for r in rows), params
     table.print()
     claim(
         "(1+eps)-approximate covering with probability 1-1/poly(n) "
@@ -82,4 +56,5 @@ def test_e4_covering_guarantee(benchmark, cache):
         "maximum ratio across all instances/seeds stayed within 1+eps",
     )
     inst = min_dominating_set_ilp(cycle_graph(45))
+    cache = process_solve_cache()
     benchmark(lambda: solve_covering(inst, 0.3, seed=0, cache=cache))

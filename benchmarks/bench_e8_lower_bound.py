@@ -9,12 +9,17 @@ t-round algorithm's output marginals are statistically identical while
 views are trees, capping the bipartite approximation ratio at
 α_frac/0.5 < 1; (b) the same on a genuine LPS Ramanujan graph
 X^{5,29}; (c) the Theorem B.3/B.5 reduction round-trips at bench scale.
+
+E8a is a thin assertion layer over the ``lower-bound`` registry
+scenario (``python -m repro.exp run lower-bound`` runs the same
+comparison sharded and persisted); the deterministic reduction probes
+(E8b/E8c) and the slow LPS pair stay direct.
 """
 
-import numpy as np
 import pytest
 
 from conftest import claim
+from repro.exp import get, run_scenario
 from repro.graphs import (
     bipartite_double_cover,
     heawood_graph,
@@ -22,7 +27,6 @@ from repro.graphs import (
     mcgee_graph,
 )
 from repro.graphs.metrics import is_vertex_cover
-from repro.ilp import max_independent_set_ilp, solve_packing_exact
 from repro.lower_bounds import (
     compare_on_pair,
     dominating_set_reduction,
@@ -31,13 +35,12 @@ from repro.lower_bounds import (
 )
 from repro.util.tables import Table
 
+SCENARIO = get("lower-bound")
 
-def test_e8_mcgee_indistinguishability(benchmark, cache):
-    base = mcgee_graph()
-    cover = bipartite_double_cover(base)
-    alpha = solve_packing_exact(
-        max_independent_set_ilp(base), cache=cache
-    ).weight
+
+def test_e8_mcgee_indistinguishability(benchmark):
+    result = run_scenario(SCENARIO, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         [
             "rounds t",
@@ -49,37 +52,41 @@ def test_e8_mcgee_indistinguishability(benchmark, cache):
         ],
         title="E8a: Luby-t on McGee (girth 7) vs its double cover",
     )
-    for rounds in range(0, 4):
-        report = compare_on_pair(
-            bipartite=cover,
-            ramanujan=base,
-            independence_fraction_ramanujan=alpha / base.n,
-            rounds=rounds,
-            trials=80,
-            seed=rounds,
-        )
-        tree = report.views_tree_bipartite and report.views_tree_ramanujan
+    alpha_frac = result.rows[0]["metrics"]["independence_fraction"]
+    for rows in sorted(
+        result.by_params().values(), key=lambda rows: rows[0]["params"]["rounds"]
+    ):
+        rounds = rows[0]["params"]["rounds"]
+        tree = all(r["metrics"]["views_tree"] for r in rows)
+        # Pool the per-trial marginals before differencing: the w.h.p.
+        # claim is about the output *distribution*, so the gap of the
+        # pooled means is the faithful estimator.
+        frac_bip = sum(r["metrics"]["frac_bipartite"] for r in rows) / len(rows)
+        frac_ram = sum(r["metrics"]["frac_ramanujan"] for r in rows) / len(rows)
+        gap = abs(frac_bip - frac_ram)
+        ratio_cap = rows[0]["metrics"]["ratio_cap_bipartite"]
         table.add_row(
             [
                 rounds,
                 "yes" if tree else "NO",
-                f"{report.mean_fraction_bipartite:.3f}",
-                f"{report.mean_fraction_ramanujan:.3f}",
-                f"{report.marginal_gap:.4f}",
-                f"{report.implied_bipartite_ratio:.3f}" if tree else "-",
+                f"{frac_bip:.3f}",
+                f"{frac_ram:.3f}",
+                f"{gap:.4f}",
+                f"{ratio_cap:.3f}" if tree else "-",
             ]
         )
         if tree and rounds > 0:
-            assert report.marginal_gap < 0.05, rounds
-            assert report.implied_bipartite_ratio < 1.0
+            assert gap < 0.05, rounds
+            assert ratio_cap < 1.0
     table.print()
     claim(
         "t-round outputs are identically distributed on view-equivalent "
         "bipartite/non-bipartite pairs, capping the ratio below 1 "
         "(Theorem B.2 mechanism)",
         f"marginal gaps < 0.05 while views are trees; ratio cap "
-        f"{alpha / base.n / 0.5:.3f} < 1",
+        f"{alpha_frac / 0.5:.3f} < 1",
     )
+    base = mcgee_graph()
     benchmark(lambda: views_are_trees(base, 2))
 
 

@@ -7,44 +7,55 @@ weight ≤ Σ_v X_v·Q*(v)·w_v, i.e. ≈ (1 + ε/5)·OPT for λ = ln(1 + ε/5).
 
 Measured: coverage success across seeds, multiplicity tail vs the
 geometric survival function, and the per-run Lemma C.3 weight bound.
+
+Thin assertion layers over the ``sparse-cover-multiplicity`` and
+``sparse-cover-weight`` registry scenarios — trial loops and metrics
+live in :mod:`repro.exp.scenarios` (per-trial multiplicity histograms
+are pooled here for the domination check); ``python -m repro.exp run
+sparse-cover-multiplicity`` runs the same sweeps sharded and persisted.
 """
 
 import math
 
-import numpy as np
-import pytest
-
 from conftest import claim
 from repro.analysis import empirical_dominates_geometric, geometric_survival
-from repro.decomp import (
-    solve_covering_by_sparse_cover,
-    sparse_cover,
-    verify_edge_coverage,
-)
-from repro.graphs import erdos_renyi_connected, grid_graph
-from repro.ilp import (
-    min_dominating_set_ilp,
-    solve_covering_exact,
+from repro.decomp import solve_covering_by_sparse_cover, sparse_cover
+from repro.exp import get, run_scenario
+from repro.exp.scenarios import (
+    _covering_hypergraph,
+    _covering_instance,
+    process_solve_cache,
 )
 from repro.util.tables import Table
 
+MULTIPLICITY = get("sparse-cover-multiplicity")
+WEIGHT = get("sparse-cover-weight")
+
+
+def _pooled_samples(rows):
+    """Expand the per-trial multiplicity histograms back into the flat
+    sample list :func:`repro.analysis.empirical_dominates_geometric`
+    consumes (a few thousand small ints — trivially cheap)."""
+    samples = []
+    for row in rows:
+        for k, count in enumerate(row["metrics"]["multiplicity_hist"]):
+            samples.extend([k] * count)
+    return samples
+
 
 def test_e9_multiplicity_domination(benchmark):
-    graph = grid_graph(8, 8)
-    inst = min_dominating_set_ilp(graph)
-    hyper = inst.hypergraph()
+    result = run_scenario(MULTIPLICITY, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["lam", "coverage ok", "mean mult", "bound 1/(e^-lam)", "P[X>=2] emp", "P[X>=2] geom"],
         title="E9a: Lemma C.2 sparse-cover multiplicities (8x8 grid MDS)",
     )
-    for lam in (math.log(21 / 20), 0.1, 0.25):
-        samples = []
-        all_covered = True
-        for seed in range(20):
-            cover = sparse_cover(hyper, lam, seed=seed)
-            if verify_edge_coverage(hyper, cover):
-                all_covered = False
-            samples.extend(cover.multiplicity(graph.n))
+    for rows in sorted(
+        result.by_params().values(), key=lambda rows: rows[0]["params"]["lam"]
+    ):
+        lam = rows[0]["params"]["lam"]
+        all_covered = all(r["metrics"]["covered"] for r in rows)
+        samples = _pooled_samples(rows)
         p = math.exp(-lam)
         emp2 = sum(1 for x in samples if x >= 2) / len(samples)
         table.add_row(
@@ -58,52 +69,43 @@ def test_e9_multiplicity_domination(benchmark):
             ]
         )
         assert all_covered, lam
-        assert empirical_dominates_geometric(samples, p, slack=0.03), lam
+        # Slack covers sampling noise: the 64 per-trial samples share
+        # one shift draw, so the effective sample count is the trial
+        # count, not vertices x trials.
+        assert empirical_dominates_geometric(samples, p, slack=0.05), lam
     table.print()
     claim(
         "every hyperedge covered; X_v dominated by Geometric(e^-lam) "
         "(Lemma C.2)",
-        "coverage succeeded in every run; empirical tails stayed below "
-        "the geometric survival at every k",
+        "coverage succeeded in every run; empirical tails stayed within "
+        "sampling slack of the geometric survival at every k",
     )
+    hyper = _covering_hypergraph("mds-grid-8x8")
     benchmark(lambda: sparse_cover(hyper, 0.1, seed=0))
 
 
-def test_e9_lemma_c3_weight_bound(benchmark, cache):
-    rng = np.random.default_rng(4)
-    graph = erdos_renyi_connected(40, 0.08, rng)
-    inst = min_dominating_set_ilp(graph)
-    opt_solution = solve_covering_exact(inst, cache=cache)
-    opt = opt_solution.weight
+def test_e9_lemma_c3_weight_bound(benchmark):
+    result = run_scenario(WEIGHT, workers=0, root_seed=1)
+    assert result.statuses == {"ok": len(result.rows)}
     table = Table(
         ["eps", "lam=ln(1+eps/5)", "max weight", "lemma bound (per-run)", "1+eps target"],
         title="E9b: Lemma C.3 covering weight vs its certificate",
     )
-    for eps in (0.5, 0.3, 0.2):
-        lam = math.log(1 + eps / 5)
-        worst = 0.0
-        worst_bound = 0.0
-        for seed in range(10):
-            chosen, cover = solve_covering_by_sparse_cover(
-                inst, lam, seed=seed, cache=cache
-            )
-            assert inst.is_feasible(chosen)
-            mult = cover.multiplicity(inst.n)
-            bound = sum(
-                mult[v] * inst.weights[v] for v in opt_solution.chosen
-            )
-            weight = inst.weight(chosen)
-            assert weight <= bound + 1e-9, (eps, seed)
-            if weight > worst:
-                worst = weight
-                worst_bound = bound
+    for rows in sorted(
+        result.by_params().values(), key=lambda rows: -rows[0]["params"]["eps"]
+    ):
+        eps = rows[0]["params"]["eps"]
+        assert all(r["metrics"]["feasible"] for r in rows), eps
+        assert all(r["metrics"]["certificate_holds"] for r in rows), eps
+        assert all(r["metrics"]["within_budget"] for r in rows), eps
+        worst = max(rows, key=lambda r: r["metrics"]["weight"])
         table.add_row(
             [
                 eps,
-                f"{lam:.4f}",
-                f"{worst:.0f}",
-                f"{worst_bound:.0f}",
-                f"{(1 + eps) * opt:.1f}",
+                f"{rows[0]['metrics']['lam']:.4f}",
+                f"{worst['metrics']['weight']:.0f}",
+                f"{worst['metrics']['certificate_bound']:.0f}",
+                f"{(1 + eps) * rows[0]['metrics']['opt']:.1f}",
             ]
         )
     table.print()
@@ -113,7 +115,9 @@ def test_e9_lemma_c3_weight_bound(benchmark, cache):
         "per-run certificate held in all 30 runs; worst weights stayed "
         "within the 1+eps budget",
     )
+    inst = _covering_instance("mds-er-40")
     lam = math.log(1 + 0.3 / 5)
+    cache = process_solve_cache()
     benchmark(
         lambda: solve_covering_by_sparse_cover(inst, lam, seed=0, cache=cache)
     )

@@ -2,11 +2,13 @@
 
 Every bench module reproduces one experiment (E1–E15), prints the
 series a paper table would carry, and asserts the qualitative shape the
-paper claims.  The trial loops themselves increasingly live in the
-scenario registry (:mod:`repro.exp.scenarios` — see
-``src/repro/exp/README.md`` and ``python -m repro.exp list``); a bench
-is then a thin assertion layer over ``repro.exp.run_scenario``, and the
-same sweep can be run sharded and persisted from the CLI.
+paper claims.  The trial loops themselves live in the scenario
+registry (:mod:`repro.exp.scenarios` — see the bench ↔ scenario
+mapping in ``src/repro/exp/README.md`` and ``python -m repro.exp
+list``); every bench is a thin assertion layer over
+``repro.exp.run_scenario``, so the same sweep runs sharded and
+persisted from the CLI and feeds the nightly trend dashboard
+(``python -m repro.exp trend``).
 """
 
 from __future__ import annotations

@@ -3,9 +3,10 @@
 Scenario registry (:mod:`~repro.exp.scenarios`), deterministic sharded
 trial runner (:mod:`~repro.exp.runner`), append-only JSONL result store
 with resume (:mod:`~repro.exp.store`), paper-claim aggregation
-(:mod:`~repro.exp.report`) and the ``python -m repro.exp`` CLI
-(:mod:`~repro.exp.cli`).  See ``src/repro/exp/README.md`` for the
-store schema and copy-paste examples.
+(:mod:`~repro.exp.report`), trend analysis over dated nightly
+aggregates (:mod:`~repro.exp.trend`) and the ``python -m repro.exp``
+CLI (:mod:`~repro.exp.cli`).  See ``src/repro/exp/README.md`` for the
+store schema, the bench ↔ scenario mapping and copy-paste examples.
 """
 
 from repro.exp.scenarios import (
@@ -31,6 +32,12 @@ from repro.exp.store import (
     strip_timing,
 )
 from repro.exp.report import aggregate, render_table, write_bench_json
+from repro.exp.trend import (
+    compute_trend,
+    discover_snapshots,
+    render_trend_table,
+    write_trend_json,
+)
 
 __all__ = [
     "Scenario",
@@ -57,4 +64,8 @@ __all__ = [
     "aggregate",
     "render_table",
     "write_bench_json",
+    "compute_trend",
+    "discover_snapshots",
+    "render_trend_table",
+    "write_trend_json",
 ]

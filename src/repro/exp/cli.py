@@ -23,6 +23,12 @@ The previously-infeasible scale sweep (n = 10^5 LDD)::
 Aggregate stored rows into the paper-claim table + BENCH json::
 
     python -m repro.exp report ldd-quality --store results
+
+Trend dashboard over dated nightly aggregate directories (each holding
+``BENCH_*.json`` files, or a parent of dated subdirectories)::
+
+    python -m repro.exp trend nightly-2026-07-28 nightly-2026-07-29 \\
+        --tolerance 0.2 --out TREND.json
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.exp import report as _report
 from repro.exp import scenarios as _scenarios
 from repro.exp.runner import run_scenario
-from repro.exp.store import ResultStore
+from repro.exp.store import ResultStore, canonical_params
 from repro.util.tables import Table
 
 
@@ -113,6 +119,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="aggregate json path (default <store>/BENCH_<scenario>.json)",
     )
+
+    trend = sub.add_parser(
+        "trend",
+        help="per-scenario metric time series + regression flags over "
+        "dated BENCH_*.json snapshot directories",
+    )
+    trend.add_argument(
+        "snapshots",
+        nargs="+",
+        metavar="DIR",
+        help="snapshot directories in chronological order; a directory "
+        "of dated subdirectories expands to one snapshot per child",
+    )
+    trend.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative change beyond which a non-timing metric is "
+        "flagged (default 0.2 = 20%%)",
+    )
+    trend.add_argument(
+        "--out",
+        default="TREND.json",
+        help="trend json path (default ./TREND.json)",
+    )
     return parser
 
 
@@ -187,6 +218,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.exp import trend as _trend
+
+    try:
+        snapshots = _trend.discover_snapshots(args.snapshots)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    try:
+        trend = _trend.compute_trend(snapshots, tolerance=args.tolerance)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    # Persist the artifact before any printing: the nightly step pipes
+    # stdout through tee, and a broken pipe must not cost the upload.
+    path = _trend.write_trend_json(trend, args.out)
+    _trend.render_trend_table(trend).print()
+    flagged = trend["regressions"]
+    print(
+        f"trend over {len(trend['snapshots'])} snapshot(s), "
+        f"{len(flagged)} flagged metric(s); written to {path}"
+    )
+    for item in flagged:
+        print(
+            f"  REGRESSED {item['scenario']} {canonical_params(item['params'])} "
+            f"{item['metric']}: {item['baseline']:.4g} -> {item['latest']:.4g}"
+        )
+    # Reporting tool, not a gate: regressions are surfaced, the exit
+    # code stays 0 so the nightly trend step never fails the job.
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -195,4 +258,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trend":
+        return _cmd_trend(args)
     raise AssertionError(f"unhandled command {args.command!r}")

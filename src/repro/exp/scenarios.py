@@ -61,6 +61,31 @@ class TrialContext:
         """A fresh independent generator."""
         return np.random.default_rng(self.spawn(1)[0])
 
+    def solve_cache(self):
+        """The per-process exact-solver memo (:class:`repro.ilp.SolveCache`).
+
+        Exact local solves are pure functions of the (content-
+        fingerprinted) instance and variable subset, so the memo is
+        shared across every trial a worker process executes — the
+        sharded counterpart of the bench session's ``SolveCache``
+        fixture.  Rows stay bit-identical at any worker count because a
+        cache hit returns exactly what recomputation would.
+        """
+        return process_solve_cache()
+
+
+_PROCESS_SOLVE_CACHE = None
+
+
+def process_solve_cache():
+    """Lazily-created process-wide :class:`repro.ilp.SolveCache`."""
+    global _PROCESS_SOLVE_CACHE
+    if _PROCESS_SOLVE_CACHE is None:
+        from repro.ilp import SolveCache
+
+        _PROCESS_SOLVE_CACHE = SolveCache()
+    return _PROCESS_SOLVE_CACHE
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -256,6 +281,32 @@ def _f_hub(rng, hubs, spokes):
     return hub_and_spokes(int(hubs), int(spokes))
 
 
+@_family(r"pockets-(\d+)x(\d+)x(\d+)")
+def _f_pockets(rng, num_pockets, pocket, bridge):
+    """Cliques ("dense pockets") joined by long bridge paths — the graph
+    shape the LDD's Phase 2 exists for (E12a's ablation family)."""
+    from repro.graphs import Graph
+
+    num_pockets, pocket, bridge = int(num_pockets), int(pocket), int(bridge)
+    edges = []
+    offset = 0
+    anchors = []
+    for _ in range(num_pockets):
+        for i in range(pocket):
+            for j in range(i + 1, pocket):
+                edges.append((offset + i, offset + j))
+        anchors.append(offset)
+        offset += pocket
+    for a, b in zip(anchors, anchors[1:]):
+        prev = a
+        for _ in range(bridge):
+            edges.append((prev, offset))
+            prev = offset
+            offset += 1
+        edges.append((prev, b))
+    return Graph(offset, edges)
+
+
 @_family(r"geometric-(\d+)")
 def _f_geometric(rng, n):
     """Unit-disk graph at constant expected degree (~6: the connectivity
@@ -270,7 +321,8 @@ def _f_geometric(rng, n):
 def family_names_help() -> str:
     return (
         "grid-RxC, torus-RxC, cycle-N, path-N, clique-N, caterpillar-SxL, "
-        "random-D-regular-N, random-tree-N, er-N, hubspokes-HxS, geometric-N"
+        "random-D-regular-N, random-tree-N, er-N, hubspokes-HxS, "
+        "pockets-PxSxB, geometric-N"
     )
 
 
@@ -344,19 +396,25 @@ def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, A
 
 @scenario(
     name="ldd-scale",
-    description="LDD trial sweep at n = 10^5..3*10^5 plus a unit-disk "
-    "family (array-backed generators + saturation-aware CSR kernels; "
-    "weak-diameter audit skipped at these sizes)",
+    description="LDD trial sweep at n = 10^5..3*10^5 plus unit-disk "
+    "families (array-backed generators + saturation-aware CSR kernels; "
+    "weak-diameter audit skipped at these sizes).  geometric-100000 is "
+    "the scale frontier: its ~230-hop diameter makes the one-shot "
+    "n_v-estimation sweep run ~13x more levels than the 3-regular "
+    "families (>= 1 h/trial on a 1-core container; the nightly job "
+    "excludes this point — see nightly.yml) and the timeout budgets "
+    "for it",
     grid={
         "family": (
             "random-3-regular-100000",
             "random-3-regular-300000",
             "geometric-30000",
+            "geometric-100000",
         ),
         "eps": (0.2,),
     },
     trials=2,
-    timeout=1800.0,
+    timeout=7200.0,
     tags=("scale",),
 )
 def _ldd_scale_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
@@ -390,36 +448,74 @@ def _packing_opt(spec: str) -> float:
     cached per process (trials re-solve it otherwise)."""
     from repro.ilp import solve_packing_exact
 
-    return solve_packing_exact(_packing_instance(spec)).weight
+    return solve_packing_exact(
+        _packing_instance(spec), cache=process_solve_cache()
+    ).weight
 
 
 @lru_cache(maxsize=None)
-def _covering_opt(spec: str) -> float:
-    """Exact covering optimum, cached per process like :func:`_packing_opt`."""
+def _covering_opt_solution(spec: str):
+    """Exact covering optimum *solution* (weight + chosen set), cached
+    per process — E9b's Lemma C.3 certificate sums multiplicities over
+    the optimal chosen set."""
     from repro.ilp import solve_covering_exact
 
-    return solve_covering_exact(_covering_instance(spec)).weight
+    return solve_covering_exact(
+        _covering_instance(spec), cache=process_solve_cache()
+    )
+
+
+def _covering_opt(spec: str) -> float:
+    """Exact covering optimum, cached per process like :func:`_packing_opt`."""
+    return _covering_opt_solution(spec).weight
 
 
 def _packing_instance(spec: str):
-    from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph
-    from repro.ilp import max_independent_set_ilp, max_matching_ilp
+    from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph, path_graph
+    from repro.ilp import Constraint, PackingInstance, max_independent_set_ilp, max_matching_ilp
 
-    # Fixed construction seed: the instance is part of the parameter
+    # Fixed construction seeds: the instance is part of the parameter
     # point, so it must be identical across trials and processes.
-    rng = np.random.default_rng(3)
-    if spec == "mis-cycle-80":
-        return max_independent_set_ilp(cycle_graph(80))
-    if spec == "mis-grid-7x9":
-        return max_independent_set_ilp(grid_graph(7, 9))
+    match = re.fullmatch(r"mis-cycle-(\d+)", spec)
+    if match:
+        return max_independent_set_ilp(cycle_graph(int(match.group(1))))
+    match = re.fullmatch(r"mis-grid-(\d+)x(\d+)", spec)
+    if match:
+        return max_independent_set_ilp(
+            grid_graph(int(match.group(1)), int(match.group(2)))
+        )
     if spec == "mis-er-56":
-        return max_independent_set_ilp(erdos_renyi_connected(56, 0.07, rng))
+        return max_independent_set_ilp(
+            erdos_renyi_connected(56, 0.07, np.random.default_rng(3))
+        )
+    if spec == "mis-er-40":
+        # E11's shared instance: the alternative-approach comparison.
+        return max_independent_set_ilp(
+            erdos_renyi_connected(40, 0.09, np.random.default_rng(6))
+        )
     if spec == "wmis-grid-7x9":
         gr = grid_graph(7, 9)
+        rng = np.random.default_rng(3)
         weights = [float(w) for w in rng.integers(1, 9, size=gr.n)]
+        return max_independent_set_ilp(gr, weights=weights)
+    if spec == "wmis-path-60":
+        # E12b's ensemble-ablation instance.
+        gr = path_graph(60)
+        rng = np.random.default_rng(8)
+        weights = [float(w) for w in rng.integers(1, 10, size=gr.n)]
         return max_independent_set_ilp(gr, weights=weights)
     if spec == "matching-grid-7x9":
         return max_matching_ilp(grid_graph(7, 9)).instance
+    if spec == "ring-capacity-2":
+        # General-form packing (neither MIS nor matching): each ring
+        # vertex limits itself + both neighbors with capacity 2.
+        n = 40
+        ring = cycle_graph(n)
+        constraints = []
+        for v in range(n):
+            u, w = ring.neighbors(v)
+            constraints.append(Constraint({v: 1.0, u: 1.0, w: 1.0}, 2.0))
+        return PackingInstance([1.0] * n, constraints, name="ring-capacity-2")
     raise ValueError(f"unknown packing instance spec {spec!r}")
 
 
@@ -434,6 +530,7 @@ def _packing_instance(spec: str):
             "mis-er-56",
             "wmis-grid-7x9",
             "matching-grid-7x9",
+            "ring-capacity-2",
         ),
         "eps": (0.4, 0.3, 0.2),
     },
@@ -445,7 +542,9 @@ def _packing_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
     instance = _packing_instance(params["instance"])
     opt = _packing_opt(params["instance"])
     (algo_seq,) = ctx.spawn(1)
-    result = solve_packing(instance, params["eps"], seed=algo_seq)
+    result = solve_packing(
+        instance, params["eps"], seed=algo_seq, cache=ctx.solve_cache()
+    )
     ratio = result.weight / opt if opt else 1.0
     return {
         "opt": opt,
@@ -457,14 +556,34 @@ def _packing_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
 
 
 def _covering_instance(spec: str):
-    from repro.graphs import caterpillar, cycle_graph, grid_graph, hub_and_spokes
+    from repro.graphs import (
+        caterpillar,
+        cycle_graph,
+        erdos_renyi_connected,
+        grid_graph,
+        hub_and_spokes,
+    )
     from repro.ilp import min_dominating_set_ilp, min_vertex_cover_ilp
 
     rng = np.random.default_rng(5)
-    if spec == "mds-cycle-60":
-        return min_dominating_set_ilp(cycle_graph(60))
+    match = re.fullmatch(r"mds-cycle-(\d+)", spec)
+    if match:
+        return min_dominating_set_ilp(cycle_graph(int(match.group(1))))
     if spec == "mds-grid-6x7":
         return min_dominating_set_ilp(grid_graph(6, 7))
+    if spec == "mds-grid-8x8":
+        # E9a's sparse-cover host instance.
+        return min_dominating_set_ilp(grid_graph(8, 8))
+    if spec == "mds-er-36":
+        # E5b's head-to-head instance.
+        return min_dominating_set_ilp(
+            erdos_renyi_connected(36, 0.1, np.random.default_rng(2))
+        )
+    if spec == "mds-er-40":
+        # E9b's Lemma C.3 instance.
+        return min_dominating_set_ilp(
+            erdos_renyi_connected(40, 0.08, np.random.default_rng(4))
+        )
     if spec == "wmds-grid-6x7":
         gr = grid_graph(6, 7)
         weights = [float(w) for w in rng.integers(1, 8, size=gr.n)]
@@ -501,7 +620,9 @@ def _covering_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]
     instance = _covering_instance(params["instance"])
     opt = _covering_opt(params["instance"])
     (algo_seq,) = ctx.spawn(1)
-    result = solve_covering(instance, params["eps"], seed=algo_seq)
+    result = solve_covering(
+        instance, params["eps"], seed=algo_seq, cache=ctx.solve_cache()
+    )
     ratio = result.weight / opt if opt else 1.0
     return {
         "opt": opt,
@@ -678,4 +799,423 @@ def _kernel_speed_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, 
         "estimate_nv_speedup": timings["estimate_nv_python_s"]
         / max(timings["estimate_nv_csr_s"], 1e-12),
         "backends_identical": a.deleted == b.deleted and a.clusters == b.clusters,
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry-completing registrations (E2, E5, E8–E12, E14)
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    name="round-complexity",
+    description="E2 / Theorems 1.1-1.2 round complexity: CL nominal "
+    "O(log^3(1/eps) log n/eps) vs the GKM17 network-decomposition route "
+    "(measured ledgers on cycle MIS at n <= 128, formula extrapolation above)",
+    grid={"n": (32, 64, 128, 256, 512), "eps": (0.4, 0.3, 0.2, 0.1)},
+    trials=2,
+)
+def _round_complexity_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.core import LddParams, chang_li_ldd
+    from repro.decomp import gkm_solve_packing
+    from repro.graphs import cycle_graph
+    from repro.ilp import max_independent_set_ilp
+
+    n, eps = params["n"], params["eps"]
+    ldd_params = LddParams.practical(eps, n)
+    cl_nominal = ldd_params.nominal_rounds()
+    metrics: Dict[str, Any] = {"cl_nominal_rounds": cl_nominal}
+    if n <= 128:
+        # Build the cycle and its MIS instance only on the measured
+        # branch — the extrapolation path below never touches either
+        # (the historical bench built ``cycle_graph(min(n, 128))``
+        # unconditionally inside the sizes loop).
+        graph = cycle_graph(n)
+        gkm_seq, ldd_seq = ctx.spawn(2)
+        instance = max_independent_set_ilp(graph)
+        gkm = gkm_solve_packing(
+            instance, eps, seed=gkm_seq, scale=0.35, cache=ctx.solve_cache()
+        )
+        decomposition = chang_li_ldd(graph, ldd_params, seed=ldd_seq)
+        metrics.update(
+            gkm_nominal_rounds=gkm.ledger.nominal_rounds,
+            gkm_measured=True,
+            cl_effective_rounds=decomposition.ledger.effective_rounds,
+            diameter=n // 2,
+        )
+    else:
+        # Extrapolate GKM's formula: ND phases ~ log n on G^{2k}, each
+        # costing 2k = Theta(log n / eps) base rounds, times O(log n)
+        # colors: k * log^2 n.
+        k = max(2, math.ceil(0.35 * math.log(n) / eps))
+        metrics.update(
+            gkm_nominal_rounds=int(k * (math.ceil(math.log2(n)) ** 2) * 4),
+            gkm_measured=False,
+        )
+    metrics["gkm_over_cl"] = metrics["gkm_nominal_rounds"] / cl_nominal
+    return metrics
+
+
+@scenario(
+    name="packing-vs-gkm",
+    description="E5a head-to-head: CL (Thm 1.2) vs GKM17 on cycle MIS — "
+    "quality parity at 1-eps and nominal/effective round growth",
+    grid={"n": (40, 80, 120), "eps": (0.3,)},
+    trials=2,
+)
+def _packing_vs_gkm_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.core import solve_packing
+    from repro.decomp import gkm_solve_packing
+
+    n, eps = params["n"], params["eps"]
+    spec = f"mis-cycle-{n}"
+    instance = _packing_instance(spec)
+    opt = _packing_opt(spec)
+    cl_seq, gkm_seq = ctx.spawn(2)
+    cache = ctx.solve_cache()
+    cl = solve_packing(instance, eps, seed=cl_seq, cache=cache)
+    gkm = gkm_solve_packing(instance, eps, seed=gkm_seq, scale=0.35, cache=cache)
+    gkm_weight = instance.weight(gkm.chosen)
+    return {
+        "opt": opt,
+        "cl_ratio": cl.weight / opt,
+        "gkm_ratio": gkm_weight / opt,
+        "cl_meets_target": cl.weight >= (1 - eps) * opt - 1e-9,
+        "gkm_meets_target": gkm_weight >= (1 - eps) * opt - 1e-9,
+        "cl_nominal_rounds": cl.ledger.nominal_rounds,
+        "gkm_nominal_rounds": gkm.ledger.nominal_rounds,
+        "cl_effective_rounds": cl.ledger.effective_rounds,
+        "gkm_effective_rounds": gkm.ledger.effective_rounds,
+    }
+
+
+@scenario(
+    name="covering-vs-gkm",
+    description="E5b head-to-head: CL (Thm 1.3) vs the GKM17 analog on "
+    "dominating-set instances — both within 1+eps",
+    grid={"instance": ("mds-cycle-45", "mds-er-36"), "eps": (0.3,)},
+    trials=2,
+)
+def _covering_vs_gkm_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.core import solve_covering
+    from repro.decomp import gkm_solve_covering
+
+    eps = params["eps"]
+    instance = _covering_instance(params["instance"])
+    opt = _covering_opt(params["instance"])
+    cl_seq, gkm_seq = ctx.spawn(2)
+    cache = ctx.solve_cache()
+    cl = solve_covering(instance, eps, seed=cl_seq, cache=cache)
+    gkm = gkm_solve_covering(instance, eps, seed=gkm_seq, scale=0.5, cache=cache)
+    gkm_weight = instance.weight(gkm.chosen)
+    return {
+        "opt": opt,
+        "cl_ratio": cl.weight / opt,
+        "gkm_ratio": gkm_weight / opt,
+        "cl_meets_target": cl.weight <= (1 + eps) * opt + 1e-9,
+        "gkm_meets_target": gkm_weight <= (1 + eps) * opt + 1e-9,
+        "cl_nominal_rounds": cl.ledger.nominal_rounds,
+        "gkm_nominal_rounds": gkm.ledger.nominal_rounds,
+    }
+
+
+@lru_cache(maxsize=None)
+def _mcgee_pair():
+    """(base, double cover, exact independence number) of the McGee cage
+    — fixed instances of the E8a comparison, built once per process."""
+    from repro.graphs import bipartite_double_cover, mcgee_graph
+    from repro.ilp import max_independent_set_ilp, solve_packing_exact
+
+    base = mcgee_graph()
+    cover = bipartite_double_cover(base)
+    alpha = solve_packing_exact(
+        max_independent_set_ilp(base), cache=process_solve_cache()
+    ).weight
+    return base, cover, alpha
+
+
+@scenario(
+    name="lower-bound",
+    description="E8a / Theorem B.2 mechanism: Luby-t output marginals on "
+    "the McGee cage vs its bipartite double cover — identical while "
+    "radius-t views are trees, capping the bipartite ratio below 1",
+    grid={"rounds": (0, 1, 2, 3)},
+    trials=4,
+)
+def _lower_bound_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.lower_bounds import compare_on_pair
+
+    base, cover, alpha = _mcgee_pair()
+    (algo_seq,) = ctx.spawn(1)
+    report = compare_on_pair(
+        bipartite=cover,
+        ramanujan=base,
+        independence_fraction_ramanujan=alpha / base.n,
+        rounds=params["rounds"],
+        trials=20,
+        seed=algo_seq,
+    )
+    views_tree = report.views_tree_bipartite and report.views_tree_ramanujan
+    return {
+        "views_tree": views_tree,
+        "frac_bipartite": report.mean_fraction_bipartite,
+        "frac_ramanujan": report.mean_fraction_ramanujan,
+        "marginal_gap": report.marginal_gap,
+        "ratio_cap_bipartite": report.implied_bipartite_ratio,
+        "independence_fraction": alpha / base.n,
+    }
+
+
+@lru_cache(maxsize=None)
+def _covering_hypergraph(spec: str):
+    """Constraint hypergraph of a covering instance spec (per-process)."""
+    return _covering_instance(spec).hypergraph()
+
+
+@scenario(
+    name="sparse-cover-multiplicity",
+    description="E9a / Lemma C.2: sparse-cover coverage success and "
+    "per-vertex multiplicity tail vs the Geometric(e^-lam) survival on "
+    "the 8x8-grid MDS hypergraph",
+    grid={"lam": (math.log(21 / 20), 0.1, 0.25)},
+    trials=20,
+)
+def _sparse_cover_multiplicity_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.decomp import sparse_cover, verify_edge_coverage
+
+    hyper = _covering_hypergraph("mds-grid-8x8")
+    n = _covering_instance("mds-grid-8x8").n
+    (cover_seq,) = ctx.spawn(1)
+    cover = sparse_cover(hyper, params["lam"], seed=cover_seq)
+    uncovered = verify_edge_coverage(hyper, cover)
+    mult = cover.multiplicity(n)
+    hist = [0] * (max(mult) + 1)
+    for x in mult:
+        hist[x] += 1
+    return {
+        "covered": not uncovered,
+        "uncovered_edges": len(uncovered),
+        "mean_multiplicity": sum(mult) / len(mult),
+        "max_multiplicity": max(mult),
+        "frac_ge_2": sum(1 for x in mult if x >= 2) / len(mult),
+        # hist[k] = number of vertices contained in exactly k clusters;
+        # benches pool these across trials to run the Lemma C.2
+        # geometric-domination check on the full sample.
+        "multiplicity_hist": hist,
+    }
+
+
+@scenario(
+    name="sparse-cover-weight",
+    description="E9b / Lemma C.3: covering via sparse cover — per-run "
+    "certificate weight <= sum_v X_v Q*(v) w_v, landing within 1+eps "
+    "of OPT at lam = ln(1+eps/5)",
+    grid={"eps": (0.5, 0.3, 0.2)},
+    trials=10,
+)
+def _sparse_cover_weight_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.decomp import solve_covering_by_sparse_cover
+
+    eps = params["eps"]
+    lam = math.log(1 + eps / 5)
+    instance = _covering_instance("mds-er-40")
+    opt_solution = _covering_opt_solution("mds-er-40")
+    (cover_seq,) = ctx.spawn(1)
+    chosen, cover = solve_covering_by_sparse_cover(
+        instance, lam, seed=cover_seq, cache=ctx.solve_cache()
+    )
+    mult = cover.multiplicity(instance.n)
+    bound = sum(mult[v] * instance.weights[v] for v in opt_solution.chosen)
+    weight = instance.weight(chosen)
+    return {
+        "lam": lam,
+        "opt": opt_solution.weight,
+        "weight": weight,
+        "certificate_bound": bound,
+        "feasible": instance.is_feasible(chosen),
+        "certificate_holds": weight <= bound + 1e-9,
+        "within_budget": weight <= (1 + eps) * opt_solution.weight + 1e-9,
+    }
+
+
+@scenario(
+    name="blackbox",
+    description="E10 / Section 1.6 boosting: blackbox (eps, O(log n/eps)) "
+    "LDD vs the direct Theorem 1.1 algorithm on cycle-128 — same "
+    "quality, nominal-round advantage growing as eps shrinks",
+    grid={"family": ("cycle-128",), "eps": (0.3, 0.2, 0.1, 0.05)},
+    trials=8,
+)
+def _blackbox_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import blackbox_ldd, low_diameter_decomposition
+    from repro.graphs.metrics import validate_partition
+
+    eps = params["eps"]
+    graph = build_family(params["family"], ctx.rng())
+    bb_seq, direct_seq = ctx.spawn(2)
+    bb = blackbox_ldd(graph, eps=eps, seed=bb_seq)
+    validate_partition(graph, bb.clusters, bb.deleted)
+    direct = low_diameter_decomposition(graph, eps=eps, seed=direct_seq)
+    bb_frac = len(bb.deleted) / graph.n
+    direct_frac = len(direct.deleted) / graph.n
+    return {
+        "bb_fraction": bb_frac,
+        "direct_fraction": direct_frac,
+        "bb_nominal_rounds": bb.ledger.nominal_rounds,
+        "direct_nominal_rounds": direct.ledger.nominal_rounds,
+        "round_advantage": direct.ledger.nominal_rounds / bb.ledger.nominal_rounds,
+        # The blackbox composition pays a small additive quality slack
+        # (the half-decomposition's own deletions) — the historical
+        # bench allowed eps + 0.06.
+        "bb_within_slack": bb_frac <= eps + 0.06,
+        "direct_within_eps": direct_frac <= eps,
+    }
+
+
+@scenario(
+    name="alternative-packing",
+    description="E11 / Section 4 alternative approach: EN-ensemble "
+    "reweighting + weighted LDD vs the main Theorem 1.2 pipeline on "
+    "shared MIS instances",
+    grid={"instance": ("mis-cycle-60", "mis-grid-6x8", "mis-er-40"), "eps": (0.3,)},
+    trials=4,
+)
+def _alternative_packing_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.core import alternative_packing, solve_packing
+
+    eps = params["eps"]
+    instance = _packing_instance(params["instance"])
+    opt = _packing_opt(params["instance"])
+    main_seq, alt_seq = ctx.spawn(2)
+    cache = ctx.solve_cache()
+    main = solve_packing(instance, eps, seed=main_seq, cache=cache)
+    alt = alternative_packing(
+        instance, eps, seed=alt_seq, ensemble_cap=16, cache=cache
+    )
+    ensemble_mean = sum(alt.ensemble_weights) / len(alt.ensemble_weights)
+    return {
+        "opt": opt,
+        "main_ratio": main.weight / opt,
+        "alt_ratio": alt.weight / opt,
+        "ensemble_mean_ratio": ensemble_mean / opt,
+        "alt_feasible": instance.is_feasible(alt.chosen),
+        "main_meets_target": main.weight / opt >= (1 - eps) - 1e-9,
+        # The alternative analysis gives (1 - O(eps)): allow the 2x
+        # constant, as the paper's Section 4 sketch does.
+        "alt_meets_target": alt.weight / opt >= (1 - 2 * eps) - 1e-9,
+        "ensemble_meets_target": ensemble_mean / opt >= 1 - 2 * eps,
+    }
+
+
+@scenario(
+    name="phase2-ablation",
+    description="E12a ablation: skipping the LDD's dense-pocket clearing "
+    "pass (Phase 2) degrades the unclustered-fraction tail on the "
+    "pocket graph while both variants stay correct partitions",
+    grid={"family": ("pockets-4x18x12",), "eps": (0.2,)},
+    trials=30,
+)
+def _phase2_ablation_trial(
+    params: Dict[str, Any], ctx: TrialContext
+) -> Dict[str, Any]:
+    from repro.core import LddParams, chang_li_ldd
+    from repro.graphs.metrics import validate_partition
+
+    graph = build_family(params["family"], ctx.rng())
+    ldd_params = LddParams.practical(params["eps"], graph.n)
+    full_seq, skip_seq = ctx.spawn(2)
+    full = chang_li_ldd(graph, ldd_params, seed=full_seq)
+    validate_partition(graph, full.clusters, full.deleted)
+    skipped = chang_li_ldd(graph, ldd_params, seed=skip_seq, skip_phase2=True)
+    validate_partition(graph, skipped.clusters, skipped.deleted)
+    return {
+        "n": graph.n,
+        "full_fraction": len(full.deleted) / graph.n,
+        "skip_fraction": len(skipped.deleted) / graph.n,
+        "full_within_eps": len(full.deleted) / graph.n <= params["eps"],
+    }
+
+
+@scenario(
+    name="prep-ablation",
+    description="E12b ablation: starving the packing preparation ensemble "
+    "(prep_factor) — the guarantee is robust (exact local solves), the "
+    "carving-activity estimates get noisier",
+    grid={"prep_factor": (0.3, 4.0)},
+    trials=5,
+)
+def _prep_ablation_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import PackingParams, chang_li_packing
+
+    eps = 0.3
+    instance = _packing_instance("wmis-path-60")
+    opt = _packing_opt("wmis-path-60")
+    pack_params = PackingParams.practical(
+        eps, instance.n, prep_factor=params["prep_factor"]
+    )
+    (algo_seq,) = ctx.spawn(1)
+    result = chang_li_packing(
+        instance, pack_params, seed=algo_seq, cache=ctx.solve_cache()
+    )
+    return {
+        "eps": eps,
+        "opt": opt,
+        "ratio": result.weight / opt,
+        "feasible": instance.is_feasible(result.chosen),
+        "meets_target": result.weight / opt >= (1 - eps) - 1e-9,
+        "prep_clusters": result.num_prep_clusters,
+        "carve_centers": sum(result.centers_per_iteration),
+    }
+
+
+@lru_cache(maxsize=None)
+def _spanner_graph(spec: str):
+    """Fixed spanner-input graphs (E14): the graph is part of the
+    parameter point — only the spanner's shifts vary across trials."""
+    from repro.graphs import complete_graph, erdos_renyi_connected, random_regular
+
+    if spec == "clique-36":
+        return complete_graph(36)
+    if spec == "er-48-p30":
+        return erdos_renyi_connected(48, 0.3, np.random.default_rng(9))
+    if spec == "6-regular-48":
+        return random_regular(48, 6, np.random.default_rng(10))
+    raise ValueError(f"unknown spanner graph spec {spec!r}")
+
+
+@scenario(
+    name="spanner",
+    description="E14 / [EN18] shift spanners: (2k-1)-stretch always holds "
+    "(worst-case), size falls with k on dense inputs; the size "
+    "*distribution* across seeds is the [FGdV22] open-question tail",
+    grid={"graph": ("clique-36", "er-48-p30", "6-regular-48"), "k": (3, 6)},
+    trials=8,
+)
+def _spanner_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.decomp.spanner import shift_spanner, verify_stretch
+
+    graph = _spanner_graph(params["graph"])
+    k = params["k"]
+    (shift_seq,) = ctx.spawn(1)
+    result = shift_spanner(graph, k, seed=shift_seq)
+    violations = verify_stretch(graph, result.edges, 2 * k - 1)
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "size": result.size,
+        "stretch_violations": len(violations),
+        "size_bound": result.size_bound(graph.n),
+        "max_multiplicity": max(result.multiplicities, default=0),
     }

@@ -1,0 +1,257 @@
+"""Trend analysis over dated ``BENCH_<scenario>.json`` aggregates.
+
+The nightly workflow uploads one directory of aggregate files per run;
+pointing ``python -m repro.exp trend`` at an ordered sequence of such
+snapshot directories produces
+
+* a per-scenario, per-parameter-point, per-metric **time series** of
+  the aggregate means (one column per snapshot),
+* **flags** for metrics whose latest mean moved beyond a configurable
+  relative tolerance of the baseline (first snapshot that carries the
+  metric) — the regression dashboard the nightly job renders, and
+* a byte-stable ``TREND.json`` (sorted keys, fixed separators), so two
+  runs over the same snapshots diff clean.
+
+Snapshot discovery: each CLI argument is either a directory that
+directly contains ``BENCH_*.json`` files (one snapshot, labeled by its
+basename) or a directory of dated subdirectories each containing them
+(one snapshot per subdirectory, ordered by name — ISO dates sort
+chronologically).
+
+Wall-clock metrics (names ending ``_s`` and scenarios tagged
+``timing``) are carried in the series but never flagged: machine noise
+is not a regression the dashboard should page on.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exp.store import SCHEMA_VERSION, canonical_params
+from repro.util.tables import Table
+
+#: Metric-name suffixes treated as wall-clock measurements.
+TIMING_SUFFIXES = ("_s",)
+
+_BENCH_PATTERN = re.compile(r"BENCH_(?P<scenario>.+)\.json\Z")
+
+
+def _is_timing_scenario(scenario: str) -> bool:
+    """True when the registered scenario is tagged ``timing`` (every
+    metric it reports — speedup ratios included — is wall-clock
+    derived).  Unregistered names fall back to the suffix rule only."""
+    from repro.exp import scenarios as _scenarios
+
+    try:
+        return "timing" in _scenarios.get(scenario).tags
+    except KeyError:
+        return False
+
+
+def _is_timing_metric(name: str, scenario_is_timing: bool = False) -> bool:
+    return scenario_is_timing or name.endswith(TIMING_SUFFIXES)
+
+
+def _bench_files(directory: Path) -> Dict[str, Path]:
+    """``{scenario: path}`` of the BENCH aggregates directly inside."""
+    out: Dict[str, Path] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        match = _BENCH_PATTERN.match(path.name)
+        if match:
+            out[match.group("scenario")] = path
+    return out
+
+
+def discover_snapshots(paths: Sequence[Any]) -> List[Tuple[str, Dict[str, Path]]]:
+    """Resolve CLI path arguments into ordered ``(label, {scenario: file})``.
+
+    A path with BENCH files directly inside is one snapshot; otherwise
+    every child directory containing BENCH files becomes a snapshot
+    (sorted by name, so dated directories order chronologically).
+    Labels are de-duplicated with a numeric suffix — two artifact
+    directories may share a basename.
+    """
+    snapshots: List[Tuple[str, Dict[str, Path]]] = []
+    seen: Dict[str, int] = {}
+
+    def add(label: str, files: Dict[str, Path]) -> None:
+        seen[label] = seen.get(label, 0) + 1
+        if seen[label] > 1:
+            label = f"{label}#{seen[label]}"
+        snapshots.append((label, files))
+
+    for raw in paths:
+        root = Path(raw)
+        if not root.is_dir():
+            raise FileNotFoundError(f"snapshot directory not found: {root}")
+        direct = _bench_files(root)
+        if direct:
+            add(root.name, direct)
+            continue
+        nested = [
+            (child.name, _bench_files(child))
+            for child in sorted(root.iterdir())
+            if child.is_dir() and _bench_files(child)
+        ]
+        if not nested:
+            raise FileNotFoundError(
+                f"no BENCH_*.json aggregates under {root} (directly or one "
+                "level down)"
+            )
+        for label, files in nested:
+            add(label, files)
+    return snapshots
+
+
+def _load_aggregate(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        blob = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return blob if isinstance(blob, dict) and "points" in blob else None
+
+
+def compute_trend(
+    snapshots: Sequence[Tuple[str, Dict[str, Path]]],
+    tolerance: float = 0.2,
+) -> Dict[str, Any]:
+    """The TREND structure over ordered snapshots.
+
+    For every (scenario, parameter point, metric) the series holds the
+    aggregate mean per snapshot (``None`` where the snapshot lacks the
+    scenario/point/metric).  ``baseline`` is the first non-missing
+    value, ``latest`` the last; ``change`` is their relative delta
+    (guarded for a zero baseline), and a non-timing metric whose
+    ``|change| > tolerance`` is flagged and listed under
+    ``regressions``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    labels = [label for label, _ in snapshots]
+    # series[scenario][point_key][metric] -> [value per snapshot]
+    series: Dict[str, Dict[str, Dict[str, List[Optional[float]]]]] = {}
+    counts: Dict[str, Dict[str, List[Optional[int]]]] = {}
+    for index, (_, files) in enumerate(snapshots):
+        for scenario, path in files.items():
+            agg = _load_aggregate(path)
+            if agg is None:
+                continue
+            by_point = series.setdefault(scenario, {})
+            count_by_point = counts.setdefault(scenario, {})
+            for point in agg.get("points", ()):
+                key = canonical_params(point.get("params", {}))
+                trials = count_by_point.setdefault(key, [None] * len(snapshots))
+                trials[index] = point.get("trials")
+                metrics = by_point.setdefault(key, {})
+                for name, summary in point.get("metrics", {}).items():
+                    if not isinstance(summary, dict) or "mean" not in summary:
+                        continue
+                    values = metrics.setdefault(name, [None] * len(snapshots))
+                    values[index] = float(summary["mean"])
+
+    scenarios_out: Dict[str, Any] = {}
+    regressions: List[Dict[str, Any]] = []
+    for scenario in sorted(series):
+        scenario_is_timing = _is_timing_scenario(scenario)
+        points_out = []
+        for key in sorted(series[scenario]):
+            metrics_out: Dict[str, Any] = {}
+            for name in sorted(series[scenario][key]):
+                values = series[scenario][key][name]
+                present = [v for v in values if v is not None]
+                baseline, latest = present[0], present[-1]
+                if baseline == 0.0:
+                    change = 0.0 if latest == 0.0 else float("inf")
+                else:
+                    change = (latest - baseline) / abs(baseline)
+                timing = _is_timing_metric(name, scenario_is_timing)
+                flagged = (
+                    not timing
+                    and len(present) >= 2
+                    and abs(change) > tolerance
+                )
+                entry = {
+                    "series": values,
+                    "baseline": baseline,
+                    "latest": latest,
+                    "change": None if change == float("inf") else change,
+                    "flagged": flagged,
+                    "timing": timing,
+                }
+                metrics_out[name] = entry
+                if flagged:
+                    regressions.append(
+                        {
+                            "scenario": scenario,
+                            "params": json.loads(key),
+                            "metric": name,
+                            "baseline": baseline,
+                            "latest": latest,
+                            "change": entry["change"],
+                        }
+                    )
+            points_out.append(
+                {
+                    "params": json.loads(key),
+                    "trials": counts[scenario][key],
+                    "metrics": metrics_out,
+                }
+            )
+        scenarios_out[scenario] = {"points": points_out}
+    return {
+        "schema": SCHEMA_VERSION,
+        "snapshots": labels,
+        "tolerance": tolerance,
+        "scenarios": scenarios_out,
+        "regressions": regressions,
+    }
+
+
+def render_trend_table(trend: Dict[str, Any]) -> Table:
+    """One row per (scenario, point, metric): the series + the flag."""
+    labels = trend["snapshots"]
+    table = Table(
+        ["scenario", "params", "metric", *labels, "change", "flag"],
+        title=(
+            f"Metric trends over {len(labels)} snapshot(s) "
+            f"(tolerance ±{trend['tolerance']:.0%})"
+        ),
+    )
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        return f"{value:.4g}"
+
+    for scenario in sorted(trend["scenarios"]):
+        for point in trend["scenarios"][scenario]["points"]:
+            params = canonical_params(point["params"])
+            for name, entry in sorted(point["metrics"].items()):
+                change = entry["change"]
+                table.add_row(
+                    [
+                        scenario,
+                        params,
+                        name,
+                        *[fmt(v) for v in entry["series"]],
+                        "n/a" if change is None else f"{change:+.1%}",
+                        "REGRESSED"
+                        if entry["flagged"]
+                        else ("timing" if entry["timing"] else "ok"),
+                    ]
+                )
+    return table
+
+
+def write_trend_json(trend: Dict[str, Any], path) -> Path:
+    """Byte-stable TREND.json (same discipline as ``BENCH_*.json``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(trend, sort_keys=True, indent=2, separators=(",", ": ")) + "\n",
+        encoding="utf-8",
+    )
+    return path

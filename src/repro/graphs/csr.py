@@ -57,6 +57,22 @@ _GATHER_BUDGET_BYTES = 64 << 20
 #: distributions (stars, hubs) fall back to the segmented reduceat.
 _PAD_WASTE_FACTOR = 8
 
+#: Relative cost of touching one frontier-incident edge in the sparse
+#: early phase of :meth:`CsrGraph._ball_chunk` versus one uint64 word
+#: in a packed full-width pass.  A BFS level stays on sparse index
+#: frontiers while ``factor * frontier_edges < nnz * words`` and
+#: switches to the packed sweep once the frontiers densify.  ``inf``
+#: forces the packed sweep from level 0 (the historical behaviour);
+#: ``0`` keeps every level sparse — both produce bit-identical sizes
+#: and depths (tests exercise the forced settings).  256 is the
+#: empirical break-even on this container: the sort-dedupe + scatter
+#: per candidate pair costs ~2 orders more than a packed word, so only
+#: genuinely tiny early frontiers are worth running sparse (n = 10^5
+#: random 3-regular, radius-capped sweep: 37 s -> 31 s; the
+#: run-to-saturation sweep is level-bound in its dense middle and gains
+#: ~2%).
+_SPARSE_COST_FACTOR = 256.0
+
 #: Bit patterns of every byte value, MSB first — matches the packed
 #: column layout of :meth:`CsrGraph._seed_packed` / ``np.unpackbits``.
 _BYTE_BITS = np.unpackbits(
@@ -478,16 +494,21 @@ class CsrGraph:
         retired, so a whole-graph ``radius`` never runs past the
         residual diameter (the old kernel's failure mode at n = 10^5,
         where ``radius ≈ 900`` met a diameter-20 graph).
+
+        The first levels run on **sparse index frontiers** — arrays of
+        ``(vertex, lane)`` pairs — because a fresh BFS touches only a
+        handful of vertices per source while a packed pass always pays
+        the full ``(W·64)``-lane width; once the frontiers densify past
+        the :data:`_SPARSE_COST_FACTOR` break-even the chunk packs the
+        current frontier and continues on the packed sweep.  Both
+        phases update the same packed ``visited`` matrix, so sizes and
+        depths are bit-identical wherever the switch happens.
         """
         count = len(s_chunk)
         if count == 0:
             return
         visited = self._seed_packed(s_chunk, count, mask)
         words = visited.shape[1]
-        active = np.arange(words, dtype=np.int64)  # original word ids
-        sweep = _PackedSweep(self, words)
-        frontier = visited.copy()
-        lanes = np.arange(64, dtype=np.int64)
 
         def harvest(packed: np.ndarray, word_ids: np.ndarray) -> None:
             totals = _column_weights(packed, w)
@@ -496,7 +517,62 @@ class CsrGraph:
                 top = min(count, base + 64)
                 sizes_out[base:top] = totals[64 * j : 64 * j + (top - base)]
 
+        # --- sparse early phase ------------------------------------------
+        bytes_view = visited.view(np.uint8)  # (n, 8*words), MSB-first bytes
+        nbytes = words * 8
+        shift = (words * 64 - 1).bit_length()  # lane bits of the pair key
+        fv = np.asarray(s_chunk, dtype=np.int64)
+        fl = np.arange(count, dtype=np.int64)
+        if mask is not None:
+            seeded = mask[fv]
+            fv, fl = fv[seeded], fl[seeded]
         r = 0
+        packed_cost = max(self.nnz, 1) * words
+        while fv.size and (radius is None or r < radius):
+            edge_work = int(self.degrees[fv].sum())
+            if not edge_work * _SPARSE_COST_FACTOR < packed_cost:
+                break  # densified: hand over to the packed sweep
+            pair_lanes = np.repeat(fl, self.degrees[fv])
+            keys = np.unique((self._neighbors_of(fv) << shift) | pair_lanes)
+            nv, nl = keys >> shift, keys & ((1 << shift) - 1)
+            if mask is not None:
+                allowed = mask[nv]
+                nv, nl = nv[allowed], nl[allowed]
+            byte_idx = nl >> 3
+            bits = (1 << (7 - (nl & 7))).astype(np.uint8)
+            fresh = (bytes_view[nv, byte_idx] & bits) == 0
+            nv, nl = nv[fresh], nl[fresh]
+            if nv.size == 0:
+                fv = nv
+                break  # every source saturated during the sparse phase
+            r += 1
+            # Scatter the fresh bits byte-wise.  The key sort left equal
+            # (vertex, byte) runs adjacent, so reduceat-summing the (per
+            # pair unique) bits combines each byte's update in one pass
+            # and the final fancy OR touches every byte position once —
+            # the element-wise ``bitwise_or.at`` ufunc loop costs ~10x.
+            byte_idx, bits = byte_idx[fresh], bits[fresh]
+            flat = nv * nbytes + byte_idx
+            run_starts = np.concatenate(
+                ([0], np.nonzero(np.diff(flat))[0] + 1)
+            )
+            combined = np.add.reduceat(bits.astype(np.uint8), run_starts)
+            bytes_view[nv[run_starts], byte_idx[run_starts]] |= combined
+            depths_out[nl] = r
+            fv, fl = nv, nl
+        if not fv.size or (radius is not None and r >= radius):
+            harvest(visited, np.arange(words, dtype=np.int64))
+            return
+
+        # --- packed phase ------------------------------------------------
+        active = np.arange(words, dtype=np.int64)  # original word ids
+        sweep = _PackedSweep(self, words)
+        frontier = np.zeros_like(visited)
+        fb = frontier.view(np.uint8)
+        np.bitwise_or.at(
+            fb, (fv, fl >> 3), (1 << (7 - (fl & 7))).astype(np.uint8)
+        )
+        lanes = np.arange(64, dtype=np.int64)
         while active.size and (radius is None or r < radius):
             new = sweep.expand(frontier, visited, mask)
             live_words = np.bitwise_or.reduce(new, axis=0)

@@ -159,6 +159,97 @@ class TestRandomGeometric:
         assert g.n == 1 and g.m == 0
 
 
+class TestGeometricCellGrid:
+    """The O(n)-expected neighbor-cell scan must reproduce the blocked
+    pairwise enumeration's edge set exactly for any draw."""
+
+    @staticmethod
+    def _canon(us, vs):
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        return set(zip(lo.tolist(), hi.tolist()))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_cells_match_blocked_on_random_draws(self, seed):
+        from repro.graphs.generators import (
+            _geometric_edges_blocked,
+            _geometric_edges_cells,
+        )
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 900))
+        radius = float(rng.uniform(0.004, 1.2))
+        xs, ys = rng.random(n), rng.random(n)
+        r2 = radius * radius
+        blocked = self._canon(*_geometric_edges_blocked(xs, ys, r2))
+        cells = self._canon(*_geometric_edges_cells(xs, ys, radius, r2))
+        assert blocked == cells, (seed, n, radius)
+
+    def test_boundary_coordinates_hash_in_range(self):
+        """Coordinates at (or numerically near) 1.0 clamp into the last
+        cell instead of indexing off the grid."""
+        from repro.graphs.generators import (
+            _geometric_edges_blocked,
+            _geometric_edges_cells,
+        )
+
+        xs = np.array([0.0, 1.0 - 1e-16, 0.999999, 0.5, 0.25])
+        ys = np.array([1.0 - 1e-16, 0.0, 0.999999, 0.5, 0.75])
+        radius = 0.3
+        blocked = self._canon(*_geometric_edges_blocked(xs, ys, radius**2))
+        cells = self._canon(*_geometric_edges_cells(xs, ys, radius, radius**2))
+        assert blocked == cells
+
+    def test_tiny_batch_budget_bit_identical(self, monkeypatch):
+        """The candidate-batching inside the cell scan is memory
+        plumbing only: a forced one-candidate budget must reproduce the
+        one-shot edge set."""
+        import repro.graphs.generators as gen
+
+        rng = np.random.default_rng(17)
+        n = 300
+        xs, ys = rng.random(n), rng.random(n)
+        radius = 0.09
+        one_shot = self._canon(
+            *gen._geometric_edges_cells(xs, ys, radius, radius**2)
+        )
+        monkeypatch.setattr(gen, "_CELL_BATCH_CANDIDATES", 1)
+        batched = self._canon(
+            *gen._geometric_edges_cells(xs, ys, radius, radius**2)
+        )
+        assert one_shot == batched
+
+    def test_dense_regime_dispatches_to_blocked(self, monkeypatch):
+        """A coarse grid over many points (average occupancy beyond
+        _CELL_MAX_LOAD) degenerates toward all-pairs; the dispatcher
+        must keep the memory-bounded blocked kernel there."""
+        import repro.graphs.generators as gen
+
+        calls = []
+        real = gen._geometric_edges_blocked
+        monkeypatch.setattr(
+            gen,
+            "_geometric_edges_blocked",
+            lambda *a: calls.append(1) or real(*a),
+        )
+        # n=2000, radius=0.2 -> ncells=5, load 2000/25 = 80 > 64.
+        random_geometric(2000, 0.2, np.random.default_rng(30), connect=False)
+        assert calls
+
+    def test_dispatch_paths_build_identical_graphs(self, monkeypatch):
+        """Above the dispatch threshold `random_geometric` runs the cell
+        scan; forcing the blocked path on the same seed must give the
+        same (patched) graph."""
+        import repro.graphs.generators as gen
+
+        n, radius = 700, 0.03  # cells path by default; needs patching
+        via_cells = random_geometric(n, radius, np.random.default_rng(21))
+        monkeypatch.setattr(gen, "_CELL_MIN_POINTS", 10**9)
+        via_blocked = random_geometric(n, radius, np.random.default_rng(21))
+        assert via_cells == via_blocked
+        assert len(via_cells.connected_components()) == 1
+
+
 class TestEnginePortMapping:
     def test_payloads_arrive_on_correct_ports(self):
         """Messages sent on port p of v arrive at the reverse port of

@@ -1,0 +1,132 @@
+"""Smokes + determinism for the registry-completing scenarios (E2-E14).
+
+Every bench E1-E15 now maps onto a registered scenario; each new
+registration gets a tiny-grid runner smoke (1 trial, smallest family)
+and two of them get the full 1-vs-2-worker byte-identical-rows check
+(the cheap pair — the expensive scenarios share the same runner path).
+"""
+
+import pytest
+
+from repro.exp import (
+    ResultStore,
+    get,
+    names,
+    run_scenario,
+    strip_timing,
+)
+
+#: The bench -> scenario registry mapping the suite is now complete on.
+BENCH_SCENARIOS = {
+    "E1": ("ldd-quality",),
+    "E2": ("round-complexity",),
+    "E3": ("packing-approx",),
+    "E4": ("covering-approx",),
+    "E5": ("packing-vs-gkm", "covering-vs-gkm"),
+    "E6": ("en-failure",),
+    "E7": ("mpx-failure",),
+    "E8": ("lower-bound",),
+    "E9": ("sparse-cover-multiplicity", "sparse-cover-weight"),
+    "E10": ("blackbox",),
+    "E11": ("alternative-packing",),
+    "E12": ("phase2-ablation", "prep-ablation"),
+    "E13": ("congest-bandwidth",),
+    "E14": ("spanner",),
+    "E15": ("kernel-speed",),
+}
+
+#: (scenario, tiny grid override) pairs for the runner smokes.
+SMOKES = [
+    ("round-complexity", {"n": [32], "eps": [0.3]}),
+    ("packing-vs-gkm", {"n": [40]}),
+    ("covering-vs-gkm", {"instance": ["mds-cycle-45"]}),
+    ("lower-bound", {"rounds": [1]}),
+    ("sparse-cover-multiplicity", {"lam": [0.25]}),
+    ("sparse-cover-weight", {"eps": [0.5]}),
+    ("blackbox", {"eps": [0.3]}),
+    ("alternative-packing", {"instance": ["mis-cycle-60"]}),
+    ("phase2-ablation", {"eps": [0.2]}),
+    ("prep-ablation", {"prep_factor": [4.0]}),
+    ("spanner", {"graph": ["clique-36"], "k": [3]}),
+]
+
+
+class TestRegistryComplete:
+    def test_every_bench_has_a_registered_scenario(self):
+        registered = set(names())
+        for bench, scenarios in BENCH_SCENARIOS.items():
+            for name in scenarios:
+                assert name in registered, (bench, name)
+
+    def test_smoke_names_cover_all_new_registrations(self):
+        smoked = {name for name, _ in SMOKES}
+        new = {
+            name
+            for scenarios in BENCH_SCENARIOS.values()
+            for name in scenarios
+        } - {
+            # Pre-existing registrations with their own suites.
+            "ldd-quality",
+            "packing-approx",
+            "covering-approx",
+            "en-failure",
+            "mpx-failure",
+            "congest-bandwidth",
+            "kernel-speed",
+        }
+        assert new == smoked
+
+
+class TestScenarioSmokes:
+    @pytest.mark.parametrize("name,overrides", SMOKES, ids=[s[0] for s in SMOKES])
+    def test_single_trial_smoke(self, name, overrides):
+        result = run_scenario(
+            name, workers=0, trials=1, overrides=overrides, root_seed=3
+        )
+        assert result.executed == len(result.rows) > 0
+        assert result.statuses == {"ok": len(result.rows)}
+        for row in result.rows:
+            assert row["metrics"], row["params"]
+
+
+class TestShardedDeterminism:
+    """1-vs-2-worker byte-identical rows for two registrations (the
+    others run through the identical runner path)."""
+
+    @pytest.mark.parametrize(
+        "name,overrides",
+        [
+            ("spanner", {"graph": ["clique-36"], "k": [3, 6]}),
+            ("sparse-cover-weight", {"eps": [0.5, 0.3]}),
+        ],
+        ids=["spanner", "sparse-cover-weight"],
+    )
+    def test_worker_counts_agree_and_resume(self, tmp_path, name, overrides):
+        rows_by_workers = {}
+        for workers in (1, 2):
+            store = ResultStore(tmp_path / f"w{workers}")
+            result = run_scenario(
+                get(name),
+                store=store,
+                workers=workers,
+                trials=2,
+                overrides=overrides,
+                root_seed=9,
+            )
+            assert result.statuses == {"ok": len(result.rows)}
+            rows_by_workers[workers] = [
+                strip_timing(r) for r in store.rows(name)
+            ]
+        # Byte-identical rows in identical file order.
+        assert rows_by_workers[1] == rows_by_workers[2]
+        # Resume: rerunning against either store executes zero trials.
+        rerun = run_scenario(
+            get(name),
+            store=ResultStore(tmp_path / "w2"),
+            workers=1,
+            trials=2,
+            overrides=overrides,
+            root_seed=9,
+        )
+        assert rerun.executed == 0
+        assert rerun.skipped == len(rerun.rows)

@@ -1,0 +1,229 @@
+"""Tests for the trend command: snapshot discovery, regression
+flagging, tolerance handling, and byte-stable TREND.json output."""
+
+import json
+
+import pytest
+
+from repro.exp import (
+    compute_trend,
+    discover_snapshots,
+    render_trend_table,
+    write_trend_json,
+)
+from repro.exp.cli import main as cli_main
+
+
+def _bench_blob(scenario, points):
+    """Minimal BENCH_<scenario>.json aggregate structure."""
+    return {
+        "schema": 1,
+        "scenario": scenario,
+        "code_versions": ["v1"],
+        "totals": {"rows": 1, "ok": 1, "error": 0, "timeout": 0},
+        "points": [
+            {
+                "params": params,
+                "trials": 2,
+                "statuses": {"ok": 2},
+                "metrics": {
+                    name: {"count": 2, "mean": mean, "min": mean, "max": mean}
+                    for name, mean in metrics.items()
+                },
+            }
+            for params, metrics in points
+        ],
+    }
+
+
+def _write_snapshot(root, label, blobs):
+    directory = root / label
+    directory.mkdir(parents=True, exist_ok=True)
+    for scenario, blob in blobs.items():
+        (directory / f"BENCH_{scenario}.json").write_text(
+            json.dumps(blob), encoding="utf-8"
+        )
+    return directory
+
+
+@pytest.fixture
+def two_snapshots(tmp_path):
+    """Two dated snapshots: `ratio` regresses 50%, `wall_s` (timing)
+    explodes, `stable` barely moves."""
+    _write_snapshot(
+        tmp_path,
+        "2026-07-28",
+        {
+            "demo": _bench_blob(
+                "demo",
+                [({"eps": 0.3}, {"ratio": 1.0, "wall_s": 5.0, "stable": 10.0})],
+            )
+        },
+    )
+    _write_snapshot(
+        tmp_path,
+        "2026-07-29",
+        {
+            "demo": _bench_blob(
+                "demo",
+                [({"eps": 0.3}, {"ratio": 0.5, "wall_s": 50.0, "stable": 10.5})],
+            )
+        },
+    )
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_parent_of_dated_subdirs_expands_in_order(self, two_snapshots):
+        snapshots = discover_snapshots([two_snapshots])
+        assert [label for label, _ in snapshots] == ["2026-07-28", "2026-07-29"]
+        assert all("demo" in files for _, files in snapshots)
+
+    def test_direct_dirs_keep_argument_order(self, two_snapshots):
+        snapshots = discover_snapshots(
+            [two_snapshots / "2026-07-29", two_snapshots / "2026-07-28"]
+        )
+        assert [label for label, _ in snapshots] == ["2026-07-29", "2026-07-28"]
+
+    def test_duplicate_labels_are_disambiguated(self, two_snapshots):
+        snapshots = discover_snapshots(
+            [two_snapshots / "2026-07-28", two_snapshots / "2026-07-28"]
+        )
+        assert [label for label, _ in snapshots] == ["2026-07-28", "2026-07-28#2"]
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover_snapshots([tmp_path / "nope"])
+
+    def test_dir_without_aggregates_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            discover_snapshots([tmp_path / "empty"])
+
+
+class TestComputeTrend:
+    def test_regression_flagged_beyond_tolerance(self, two_snapshots):
+        trend = compute_trend(discover_snapshots([two_snapshots]), tolerance=0.2)
+        flagged = {item["metric"] for item in trend["regressions"]}
+        assert flagged == {"ratio"}
+        point = trend["scenarios"]["demo"]["points"][0]
+        assert point["metrics"]["ratio"]["flagged"]
+        assert point["metrics"]["ratio"]["series"] == [1.0, 0.5]
+        assert point["metrics"]["ratio"]["change"] == pytest.approx(-0.5)
+
+    def test_tolerance_respected(self, two_snapshots):
+        trend = compute_trend(discover_snapshots([two_snapshots]), tolerance=0.6)
+        assert trend["regressions"] == []
+
+    def test_timing_metrics_never_flagged(self, two_snapshots):
+        trend = compute_trend(discover_snapshots([two_snapshots]), tolerance=0.0)
+        flagged = {item["metric"] for item in trend["regressions"]}
+        assert "wall_s" not in flagged
+        point = trend["scenarios"]["demo"]["points"][0]
+        assert point["metrics"]["wall_s"]["timing"]
+        assert not point["metrics"]["wall_s"]["flagged"]
+
+    def test_timing_tagged_scenario_metrics_never_flagged(self, tmp_path):
+        """`kernel-speed` is tagged `timing`: even its derived speedup
+        ratios (no `_s` suffix) are machine noise, never regressions."""
+        _write_snapshot(
+            tmp_path,
+            "a",
+            {"kernel-speed": _bench_blob("kernel-speed", [({}, {"ldd_speedup": 14.4})])},
+        )
+        _write_snapshot(
+            tmp_path,
+            "b",
+            {"kernel-speed": _bench_blob("kernel-speed", [({}, {"ldd_speedup": 9.0})])},
+        )
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.0)
+        assert trend["regressions"] == []
+        entry = trend["scenarios"]["kernel-speed"]["points"][0]["metrics"][
+            "ldd_speedup"
+        ]
+        assert entry["timing"] and not entry["flagged"]
+
+    def test_small_move_not_flagged(self, two_snapshots):
+        trend = compute_trend(discover_snapshots([two_snapshots]), tolerance=0.2)
+        assert not trend["scenarios"]["demo"]["points"][0]["metrics"]["stable"][
+            "flagged"
+        ]
+
+    def test_single_snapshot_never_flags(self, two_snapshots):
+        trend = compute_trend(
+            discover_snapshots([two_snapshots / "2026-07-29"]), tolerance=0.0
+        )
+        assert trend["regressions"] == []
+
+    def test_missing_scenario_in_one_snapshot(self, tmp_path):
+        _write_snapshot(
+            tmp_path, "a", {"one": _bench_blob("one", [({}, {"m": 1.0})])}
+        )
+        _write_snapshot(
+            tmp_path,
+            "b",
+            {
+                "one": _bench_blob("one", [({}, {"m": 2.0})]),
+                "two": _bench_blob("two", [({}, {"m": 7.0})]),
+            },
+        )
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.2)
+        series_two = trend["scenarios"]["two"]["points"][0]["metrics"]["m"]
+        assert series_two["series"] == [None, 7.0]
+        assert not series_two["flagged"]  # only one observation
+        assert {r["scenario"] for r in trend["regressions"]} == {"one"}
+
+    def test_zero_baseline_guarded(self, tmp_path):
+        _write_snapshot(tmp_path, "a", {"s": _bench_blob("s", [({}, {"m": 0.0})])})
+        _write_snapshot(tmp_path, "b", {"s": _bench_blob("s", [({}, {"m": 3.0})])})
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.2)
+        entry = trend["scenarios"]["s"]["points"][0]["metrics"]["m"]
+        assert entry["change"] is None
+        assert entry["flagged"]
+
+    def test_negative_tolerance_rejected(self, two_snapshots):
+        with pytest.raises(ValueError):
+            compute_trend(discover_snapshots([two_snapshots]), tolerance=-0.1)
+
+
+class TestOutput:
+    def test_trend_json_byte_stable(self, two_snapshots, tmp_path):
+        snapshots = discover_snapshots([two_snapshots])
+        paths = []
+        for i in range(2):
+            trend = compute_trend(snapshots, tolerance=0.2)
+            paths.append(
+                write_trend_json(trend, tmp_path / f"TREND{i}.json")
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_table_renders_every_metric(self, two_snapshots, capsys):
+        trend = compute_trend(discover_snapshots([two_snapshots]), tolerance=0.2)
+        render_trend_table(trend).print()
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "timing" in out
+        assert "2026-07-28" in out and "2026-07-29" in out
+
+    def test_cli_end_to_end_and_nonblocking_exit(self, two_snapshots, tmp_path, capsys):
+        out_path = tmp_path / "TREND.json"
+        code = cli_main(
+            [
+                "trend",
+                str(two_snapshots),
+                "--tolerance",
+                "0.2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        printed = capsys.readouterr().out
+        # Regressions are surfaced but never fail the invocation.
+        assert code == 0
+        assert "REGRESSED" in printed
+        blob = json.loads(out_path.read_text(encoding="utf-8"))
+        assert blob["snapshots"] == ["2026-07-28", "2026-07-29"]
+        assert len(blob["regressions"]) == 1
+
+    def test_cli_missing_dir_exits_1(self, tmp_path, capsys):
+        assert cli_main(["trend", str(tmp_path / "nope")]) == 1

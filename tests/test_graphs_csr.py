@@ -416,3 +416,58 @@ class TestLddEndToEndBothBackends:
             assert (
                 ref.ledger.effective_rounds == fast.ledger.effective_rounds
             ), (name, seed)
+
+
+class TestSparseEarlyPhase:
+    """The sparse-index early phase of ``_ball_chunk`` is a pure
+    performance strategy: forcing the switch point to either extreme
+    must leave sizes and depths bit-identical."""
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, float("inf")])
+    def test_forced_threshold_bit_identical(self, monkeypatch, factor):
+        from repro.graphs import csr as csr_module
+
+        for name, graph in POOL[::5]:
+            c = graph.csr()
+            rng = _rng(name + "-sparse")
+            mask = rng.random(graph.n) < 0.7
+            for radius in (None, 1, 3, 10**9):
+                monkeypatch.setattr(csr_module, "_SPARSE_COST_FACTOR", float("inf"))
+                ref_sizes, ref_depths = c.all_ball_sizes(radius, chunk_size=17)
+                ref_m_sizes, ref_m_depths = c.all_ball_sizes(
+                    radius, within=mask, chunk_size=17
+                )
+                monkeypatch.setattr(csr_module, "_SPARSE_COST_FACTOR", factor)
+                sizes, depths = c.all_ball_sizes(radius, chunk_size=17)
+                m_sizes, m_depths = c.all_ball_sizes(
+                    radius, within=mask, chunk_size=17
+                )
+                assert np.array_equal(ref_sizes, sizes), (name, radius)
+                assert np.array_equal(ref_depths, depths), (name, radius)
+                assert np.array_equal(ref_m_sizes, m_sizes), (name, radius)
+                assert np.array_equal(ref_m_depths, m_depths), (name, radius)
+
+    def test_tiny_threshold_on_consumers(self, monkeypatch):
+        """A forced-sparse sweep drives the LDD end to end unchanged."""
+        from repro.graphs import csr as csr_module
+
+        graph = grid_graph(12, 12)
+        params = LddParams.practical(0.3, graph.n)
+        reference = chang_li_ldd(graph, params, seed=5, backend="csr")
+        monkeypatch.setattr(csr_module, "_SPARSE_COST_FACTOR", 0.0)
+        forced = chang_li_ldd(graph, params, seed=5, backend="csr")
+        assert forced.deleted == reference.deleted
+        assert forced.clusters == reference.clusters
+
+    def test_weighted_and_sources_with_forced_sparse(self, monkeypatch):
+        from repro.graphs import csr as csr_module
+
+        graph = POOL[3][1]
+        rng = _rng("sparse-weighted")
+        weights = rng.random(graph.n)
+        sources = rng.integers(0, graph.n, size=min(graph.n, 11))
+        ref = graph.csr().all_ball_sizes(3, weights=weights, sources=sources)
+        monkeypatch.setattr(csr_module, "_SPARSE_COST_FACTOR", 0.0)
+        forced = graph.csr().all_ball_sizes(3, weights=weights, sources=sources)
+        assert np.array_equal(ref[0], forced[0])
+        assert np.array_equal(ref[1], forced[1])
