@@ -18,7 +18,7 @@ import sys
 
 from repro.graphs import bipartite_double_cover, lps_graph, mcgee_graph
 from repro.ilp import max_independent_set_ilp, solve_packing_exact
-from repro.lower_bounds import compare_on_pair, views_are_trees
+from repro.lower_bounds import compare_on_pair
 from repro.util.tables import Table
 
 

@@ -23,7 +23,6 @@ from typing import List, Optional, Set
 from repro.core.ldd import chang_li_ldd
 from repro.core.params import LddParams
 from repro.decomp.elkin_neiman import elkin_neiman_ldd
-from repro.graphs.graph import Graph
 from repro.ilp.exact import SolveCache, solve_packing_exact
 from repro.ilp.instance import PackingInstance
 from repro.local.gather import RoundLedger

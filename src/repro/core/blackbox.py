@@ -23,7 +23,7 @@ the point of the blackbox.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Set
+from typing import Optional, Set
 
 from repro.core.carve import grow_and_carve
 from repro.decomp.elkin_neiman import elkin_neiman_ldd

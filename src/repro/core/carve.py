@@ -23,7 +23,7 @@ a vertex deleted by any carve is deleted ("deleted wins", Section
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.ilp.exact import (
@@ -32,7 +32,7 @@ from repro.ilp.exact import (
     solve_packing_exact,
 )
 from repro.ilp.instance import CoveringInstance, PackingInstance
-from repro.local.gather import GatherResult, gather_ball
+from repro.local.gather import gather_ball
 from repro.util.validation import require
 
 Interval = Tuple[int, int]
@@ -68,6 +68,7 @@ def grow_and_carve(
     remaining: Set[int],
     weights: Optional[Sequence[float]] = None,
     backend: str = "python",
+    kernel_workers: Optional[int] = None,
 ) -> CarveOutcome:
     """Algorithm 1: delete the sparsest layer in ``interval``.
 
@@ -78,10 +79,21 @@ def grow_and_carve(
     When the BFS exhausts the residual component before reaching ``a``
     the whole component is removed and nothing is deleted — the carve's
     purpose (isolating a cluster) is already achieved.
+
+    ``kernel_workers`` is threaded through to :func:`gather_ball` for
+    interface uniformity; a carve's gather is a single BFS and stays
+    serial (the knob matters to the drivers' *chunked* kernels).
     """
     a, b = interval
     require(1 <= a <= b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b, within=remaining, backend=backend)
+    gathered = gather_ball(
+        graph,
+        centers,
+        b,
+        within=remaining,
+        backend=backend,
+        kernel_workers=kernel_workers,
+    )
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(
@@ -119,6 +131,7 @@ def grow_and_carve_packing(
     remaining: Set[int],
     cache: Optional[SolveCache] = None,
     backend: str = "python",
+    kernel_workers: Optional[int] = None,
 ) -> CarveOutcome:
     """Algorithm 4: delete the middle layer of the lightest 3-window.
 
@@ -134,7 +147,14 @@ def grow_and_carve_packing(
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b - 1, within=remaining, backend=backend)
+    gathered = gather_ball(
+        graph,
+        centers,
+        b - 1,
+        within=remaining,
+        backend=backend,
+        kernel_workers=kernel_workers,
+    )
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(
@@ -182,6 +202,7 @@ def grow_and_carve_covering(
     fixed_ones: Set[int],
     cache: Optional[SolveCache] = None,
     backend: str = "python",
+    kernel_workers: Optional[int] = None,
 ) -> CarveOutcome:
     """Algorithm 7: fix the lightest odd layer pair, remove ``N^{j*}``.
 
@@ -199,7 +220,14 @@ def grow_and_carve_covering(
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(graph, centers, b, within=remaining, backend=backend)
+    gathered = gather_ball(
+        graph,
+        centers,
+        b,
+        within=remaining,
+        backend=backend,
+        kernel_workers=kernel_workers,
+    )
     layers = gathered.layers
     if gathered.depth_reached < a + 1:
         return CarveOutcome(

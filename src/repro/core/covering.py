@@ -26,9 +26,8 @@ the residual) and then semantically.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.carve import grow_and_carve_covering
 from repro.core.params import CoveringParams

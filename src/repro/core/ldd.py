@@ -25,11 +25,10 @@ weighted generalization used by the Section 4 "alternative approach".
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.carve import CarveOutcome, grow_and_carve
+from repro.core.carve import grow_and_carve
 from repro.core.params import LddParams
 from repro.decomp.elkin_neiman import elkin_neiman_ldd
 from repro.decomp.types import Decomposition
@@ -59,6 +58,7 @@ def chang_li_ldd(
     skip_phase2: bool = False,
     trace: Optional[LddTrace] = None,
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
 ) -> Decomposition:
     """Run the Theorem 1.1 decomposition with the given parameters.
 
@@ -75,6 +75,12 @@ def chang_li_ldd(
     pure-Python implementations.  Unweighted runs produce bit-identical
     decompositions on either backend; weighted runs may differ at
     ``int(n_v)`` boundaries because float summation order differs.
+
+    ``kernel_workers`` (csr backend) shards the ``n_v`` estimation's
+    source chunks — the wall-clock bottleneck of every scale trial —
+    over worker processes via :mod:`repro.graphs.parallel`; the
+    decomposition is bit-identical at any worker count.  ``None``
+    resolves through ``REPRO_KERNEL_WORKERS`` (default serial).
     """
     check_backend(backend)
     n = graph.n
@@ -97,7 +103,7 @@ def chang_li_ldd(
     max_depth = 0
     if backend == "csr" and n:
         sizes, depths = graph.csr().all_ball_sizes(
-            params.estimate_radius, weights=weights
+            params.estimate_radius, weights=weights, kernel_workers=kernel_workers
         )
         estimates = {v: float(sizes[v]) for v in range(n)}
         max_depth = int(depths.max())
@@ -128,6 +134,7 @@ def chang_li_ldd(
             weights,
             trace,
             backend,
+            kernel_workers,
         )
 
     # -- Phase 2: one boosted iteration (Algorithm 3). ----------------
@@ -150,6 +157,7 @@ def chang_li_ldd(
             weights,
             trace,
             backend,
+            kernel_workers,
         )
     if trace is not None:
         trace.residual_after_phase2 = len(remaining)
@@ -190,14 +198,15 @@ def low_diameter_decomposition(
     seed: SeedLike = None,
     profile: str = "practical",
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
     **profile_kwargs,
 ) -> Decomposition:
     """Convenience entry point: build params, run :func:`chang_li_ldd`.
 
     ``profile`` selects :meth:`LddParams.paper` or
     :meth:`LddParams.practical` (default; extra keyword arguments are
-    forwarded to the profile constructor).  ``backend`` is forwarded to
-    :func:`chang_li_ldd`.
+    forwarded to the profile constructor).  ``backend`` and
+    ``kernel_workers`` are forwarded to :func:`chang_li_ldd`.
     """
     ntilde = ntilde if ntilde is not None else max(graph.n, 2)
     if profile == "paper":
@@ -206,7 +215,9 @@ def low_diameter_decomposition(
         params = LddParams.practical(eps, ntilde, **profile_kwargs)
     else:
         raise ValueError(f"unknown profile {profile!r}")
-    return chang_li_ldd(graph, params, seed=seed, backend=backend)
+    return chang_li_ldd(
+        graph, params, seed=seed, backend=backend, kernel_workers=kernel_workers
+    )
 
 
 def _measure(vertices: Set[int], weights: Optional[Sequence[float]]) -> float:
@@ -226,6 +237,7 @@ def _apply_carves(
     weights: Optional[Sequence[float]],
     trace: Optional[LddTrace],
     backend: str = "python",
+    kernel_workers: Optional[int] = None,
 ) -> None:
     """Run all centers' carves against the same residual snapshot.
 
@@ -246,7 +258,13 @@ def _apply_carves(
             continue  # carved away by a parallel execution's snapshot merge
         executed += 1
         outcome = grow_and_carve(
-            graph, [center], interval, snapshot, weights=weights, backend=backend
+            graph,
+            [center],
+            interval,
+            snapshot,
+            weights=weights,
+            backend=backend,
+            kernel_workers=kernel_workers,
         )
         removed_now |= outcome.removed
         deleted_now |= outcome.deleted

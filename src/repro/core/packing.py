@@ -25,9 +25,8 @@ local solve (proof of Theorem 1.2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.carve import grow_and_carve_packing
 from repro.core.params import PackingParams

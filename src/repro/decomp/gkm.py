@@ -32,8 +32,8 @@ a ``k``-radius gather plus intra-cluster aggregation over diameter
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.decomp.linial_saks import linial_saks_decomposition
 from repro.decomp.network_decomposition import NetworkDecomposition
@@ -45,7 +45,7 @@ from repro.ilp.exact import (
 )
 from repro.ilp.instance import CoveringInstance, PackingInstance
 from repro.local.gather import RoundLedger, gather_ball
-from repro.util.rng import SeedLike, ensure_rng
+from repro.util.rng import SeedLike
 from repro.util.validation import check_fraction, require
 
 
@@ -74,12 +74,15 @@ def gkm_solve_packing(
     scale: float = 1.0,
     cache: Optional[SolveCache] = None,
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
 ) -> GkmResult:
     """(1−ε)-approximate packing via network decomposition (GKM17).
 
     ``backend`` selects how the ``G^{2k}`` power graph is built:
     ``"csr"`` (default) batches reachability for all vertices via the
-    numpy kernel, ``"python"`` runs the per-vertex reference BFS.
+    numpy kernel, ``"python"`` runs the per-vertex reference BFS;
+    ``kernel_workers`` shards that kernel's source chunks over worker
+    processes (csr only, identical output at any worker count).
     """
     check_fraction("eps", eps)
     graph = instance.hypergraph().primal_graph()
@@ -87,7 +90,9 @@ def gkm_solve_packing(
     ntilde = ntilde if ntilde is not None else max(n, 2)
     k = _carving_radius(eps, ntilde, scale)
     ledger = RoundLedger()
-    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger, backend)
+    nd = _power_graph_decomposition(
+        graph, k, ntilde, seed, ledger, backend, kernel_workers
+    )
     remaining: Set[int] = set(range(n))
     chosen: Set[int] = set()
     carves = 0
@@ -165,6 +170,7 @@ def gkm_solve_covering(
     scale: float = 1.0,
     cache: Optional[SolveCache] = None,
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
 ) -> GkmResult:
     """(1+ε)-style covering via network decomposition (ND-based analog).
 
@@ -184,7 +190,9 @@ def gkm_solve_covering(
     # Window of ~2/eps layer pairs so the fixed boundary costs O(eps).
     k = max(4, math.ceil(2.0 * scale / eps))
     ledger = RoundLedger()
-    nd = _power_graph_decomposition(graph, k, ntilde, seed, ledger, backend)
+    nd = _power_graph_decomposition(
+        graph, k, ntilde, seed, ledger, backend, kernel_workers
+    )
     remaining: Set[int] = set(range(n))
     fixed_ones: Set[int] = set()
     zones: List[Set[int]] = []
@@ -334,14 +342,20 @@ def _power_graph_decomposition(
     seed: SeedLike,
     ledger: RoundLedger,
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
 ) -> NetworkDecomposition:
     """LS decomposition of ``G^{2k}``; charges ND rounds at base-graph cost.
 
     The ``G^{2k}`` construction is the expensive part at scale; the CSR
-    backend builds it with one batched reachability sweep.
+    backend builds it with one batched reachability sweep, optionally
+    sharded over ``kernel_workers`` processes.
     """
     power_radius = 2 * k
-    power = graph.power(power_radius, backend=backend) if graph.n else graph
+    power = (
+        graph.power(power_radius, backend=backend, kernel_workers=kernel_workers)
+        if graph.n
+        else graph
+    )
     nd = linial_saks_decomposition(power, ntilde=ntilde, seed=seed)
     # Every LS round on G^{2k} costs 2k rounds of G.
     ledger.charge(

@@ -10,7 +10,7 @@ and processes color classes sequentially.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.graphs.graph import Graph
 from repro.local.gather import RoundLedger

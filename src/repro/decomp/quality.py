@@ -7,13 +7,12 @@ fractions, diameter budgets, failure counts).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, List, Optional
 
 from repro.decomp.types import Decomposition
 from repro.graphs.graph import Graph
-from repro.graphs.metrics import DecompositionStats, decomposition_stats, validate_partition
+from repro.graphs.metrics import decomposition_stats, validate_partition
 
 
 @dataclass(frozen=True)

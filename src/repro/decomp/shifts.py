@@ -30,10 +30,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.util.rng import RngStream, SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_rngs
 from repro.util.validation import check_positive, require
 
 #: Tokens stop propagating once their value drops below this threshold.

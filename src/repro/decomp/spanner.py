@@ -31,7 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.decomp.shifts import ShiftRecord, shifted_flood
+from repro.decomp.shifts import shifted_flood
 from repro.graphs.graph import Graph
 from repro.local.gather import RoundLedger
 from repro.util.rng import SeedLike, spawn_rngs

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
-from repro.graphs.graph import Graph
 from repro.local.gather import RoundLedger
 
 

@@ -21,7 +21,13 @@ from repro.exp.scenarios import (
     scenario,
     trial_seed_sequence,
 )
-from repro.exp.runner import RunResult, TrialTimeout, execute_trial, run_scenario
+from repro.exp.runner import (
+    RunResult,
+    TrialTimeout,
+    coordinate_parallelism,
+    execute_trial,
+    run_scenario,
+)
 from repro.exp.store import (
     SCHEMA_VERSION,
     TIMING_FIELDS,
@@ -33,11 +39,15 @@ from repro.exp.store import (
 )
 from repro.exp.report import aggregate, render_table, write_bench_json
 from repro.exp.trend import (
+    TREND_TOLERANCES,
     compute_trend,
     discover_snapshots,
+    persistent_regressions,
     render_trend_table,
+    resolve_tolerance,
     write_trend_json,
 )
+from repro.exp.alerts import sync_regression_issue
 
 __all__ = [
     "Scenario",
@@ -52,6 +62,7 @@ __all__ = [
     "trial_seed_sequence",
     "RunResult",
     "TrialTimeout",
+    "coordinate_parallelism",
     "execute_trial",
     "run_scenario",
     "SCHEMA_VERSION",
@@ -64,8 +75,12 @@ __all__ = [
     "aggregate",
     "render_table",
     "write_bench_json",
+    "TREND_TOLERANCES",
     "compute_trend",
     "discover_snapshots",
+    "persistent_regressions",
     "render_trend_table",
+    "resolve_tolerance",
     "write_trend_json",
+    "sync_regression_issue",
 ]

@@ -1,0 +1,146 @@
+"""GitHub-issue automation for persistent nightly trend regressions.
+
+The nightly trend step reports metric movement; this module is its
+follow-up: when a regression flag has *persisted* across at least
+``min_snapshots`` consecutive snapshots (see
+:func:`repro.exp.trend.persistent_regressions`), the nightly job opens
+— or updates, never duplicates — a single GitHub issue listing the
+flagged scenario/point/metric series.
+
+All GitHub access goes through one injected ``gh`` runner callable
+(``args -> stdout``, without the leading ``gh``), so the whole flow is
+testable with a recorder and the production path is just the ``gh``
+CLI the workflow already authenticates.  ``dry_run=True`` never
+invokes the runner at all: it returns the body and the fact that an
+action *would* happen, which is also what the tests assert on.
+
+Like the trend step itself this is reporting, not gating — callers
+wrap :func:`sync_regression_issue` in a non-blocking step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exp.store import canonical_params
+from repro.exp.trend import persistent_regressions
+
+#: Exact title of the single tracking issue.  Deduplication is by
+#: exact-title match over open issues, so the title must stay stable.
+ISSUE_TITLE = "Nightly trend: persistent metric regressions"
+
+#: Marker embedded in the body so humans (and greps) can tell the
+#: issue is machine-managed; edits replace the whole body.
+ISSUE_MARKER = "<!-- repro-exp-trend-alert -->"
+
+GhRunner = Callable[[Sequence[str]], str]
+
+
+def default_gh_runner(args: Sequence[str]) -> str:
+    """Run ``gh <args>`` and return stdout (raises on failure)."""
+    import subprocess
+
+    completed = subprocess.run(
+        ["gh", *args], check=True, capture_output=True, text=True
+    )
+    return completed.stdout
+
+
+def build_issue_body(
+    flags: Sequence[Dict[str, Any]],
+    snapshots: Sequence[str],
+    min_snapshots: int,
+) -> str:
+    """Markdown body listing every persistent flag with its series."""
+    lines = [
+        ISSUE_MARKER,
+        "",
+        f"The nightly trend report flagged {len(flags)} metric(s) whose "
+        f"deviation from baseline persisted across the last "
+        f"{min_snapshots}+ snapshots "
+        f"(latest: `{snapshots[-1] if snapshots else '?'}`).",
+        "",
+        "| scenario | params | metric | baseline | latest | change | nights |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for item in flags:
+        change = item.get("change")
+        lines.append(
+            "| {scenario} | `{params}` | {metric} | {baseline:.4g} | "
+            "{latest:.4g} | {change} | {nights} |".format(
+                scenario=item["scenario"],
+                params=canonical_params(item["params"]),
+                metric=item["metric"],
+                baseline=item["baseline"],
+                latest=item["latest"],
+                change="n/a" if change is None else f"{change:+.1%}",
+                nights=item.get("persisted_snapshots", "?"),
+            )
+        )
+    lines += [
+        "",
+        "This issue is updated in place by the nightly workflow "
+        "(`python -m repro.exp trend --open-issue`); it reflects the "
+        "latest report, not an event log.  Close it once the series "
+        "recovers or the new level is accepted as the baseline.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def find_open_issue(gh: GhRunner) -> Optional[int]:
+    """Number of the open tracking issue, or None.
+
+    Exact-title match over the open issues; with more than one match
+    (a manual duplicate) the lowest number — the original — is the one
+    kept updated.
+    """
+    # Server-side title search keeps the lookup correct however many
+    # open issues the repo accumulates (a bare --limit window could
+    # age the tracking issue out and break the never-duplicate
+    # contract); the exact-title match below still decides.
+    stdout = gh(
+        ["issue", "list", "--state", "open", "--json", "number,title",
+         "--search", f'in:title "{ISSUE_TITLE}"', "--limit", "100"]
+    )
+    issues = json.loads(stdout or "[]")
+    numbers = [
+        int(issue["number"])
+        for issue in issues
+        if issue.get("title") == ISSUE_TITLE
+    ]
+    return min(numbers) if numbers else None
+
+
+def sync_regression_issue(
+    trend: Dict[str, Any],
+    min_snapshots: int = 3,
+    dry_run: bool = False,
+    gh: Optional[GhRunner] = None,
+) -> Dict[str, Any]:
+    """Open or update (never duplicate) the persistent-regression issue.
+
+    Returns ``{"action", "flags", "body"?, "issue"?}`` where action is
+    ``"none"`` (no persistent flags — nothing touched), ``"created"``,
+    ``"updated"``, or ``"would-sync"`` (dry run: the body is built, the
+    ``gh`` runner is never invoked).
+    """
+    flags: List[Dict[str, Any]] = persistent_regressions(trend, min_snapshots)
+    if not flags:
+        return {"action": "none", "flags": 0}
+    body = build_issue_body(flags, trend.get("snapshots", ()), min_snapshots)
+    if dry_run:
+        return {"action": "would-sync", "flags": len(flags), "body": body}
+    runner = gh or default_gh_runner
+    number = find_open_issue(runner)
+    if number is None:
+        runner(["issue", "create", "--title", ISSUE_TITLE, "--body", body])
+        return {"action": "created", "flags": len(flags), "body": body}
+    runner(["issue", "edit", str(number), "--body", body])
+    return {
+        "action": "updated",
+        "flags": len(flags),
+        "issue": number,
+        "body": body,
+    }

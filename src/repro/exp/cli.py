@@ -16,7 +16,9 @@ Smoke-run one grid point with overridden values::
     python -m repro.exp run ldd-quality --set family=grid-10x10 \\
         --set eps=0.4 --trials 2 --workers 2 --store results
 
-The previously-infeasible scale sweep (n = 10^5 LDD)::
+The previously-infeasible scale sweep (n = 10^5 LDD; `ldd-scale`
+declares ``prefer_kernel_parallelism``, so the 4-worker budget shards
+each trial's CSR kernels instead of running 4 trials at once)::
 
     python -m repro.exp run ldd-scale --workers 4 --store results
 
@@ -28,7 +30,15 @@ Trend dashboard over dated nightly aggregate directories (each holding
 ``BENCH_*.json`` files, or a parent of dated subdirectories)::
 
     python -m repro.exp trend nightly-2026-07-28 nightly-2026-07-29 \\
-        --tolerance 0.2 --out TREND.json
+        --tolerance 0.2 --tolerance ldd-scale:num_clusters=0.5 \\
+        --out TREND.json
+
+Sync the persistent-regression tracking issue (flags holding >= 3
+consecutive snapshots; ``--issue-dry-run`` prints instead of calling
+``gh``)::
+
+    python -m repro.exp trend previous-aggregates nightly-results \\
+        --open-issue --issue-min-nights 3
 """
 
 from __future__ import annotations
@@ -85,7 +95,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes (0 = inline in this process; default 1)",
+        help="total parallelism budget (0 = inline in this process; "
+        "default 1).  Normal scenarios shard trials across it; "
+        "scenarios declaring prefer_kernel_parallelism run one trial "
+        "at a time with the whole budget in the chunk-sharded CSR "
+        "kernels, so trials x kernel workers never oversubscribes",
+    )
+    run.add_argument(
+        "--kernel-workers",
+        type=int,
+        default=None,
+        help="explicit kernel workers per trial (caps the kernel share "
+        "of --workers; the rest shards trials).  Default: the "
+        "scenario's prefer_kernel_parallelism declaration decides",
     )
     run.add_argument("--trials", type=int, default=None, help="trials per grid point")
     run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
@@ -134,17 +156,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trend.add_argument(
         "--tolerance",
-        type=float,
-        default=0.2,
+        action="append",
+        default=None,
+        metavar="X | scenario:metric=X",
         help="relative change beyond which a non-timing metric is "
-        "flagged (default 0.2 = 20%%)",
+        "flagged.  A bare number sets the global tolerance (default "
+        "0.2 = 20%%); 'scenario:metric=X' overrides one pair and wins "
+        "over the built-in TREND_TOLERANCES table (repeatable)",
     )
     trend.add_argument(
         "--out",
         default="TREND.json",
         help="trend json path (default ./TREND.json)",
     )
+    trend.add_argument(
+        "--open-issue",
+        action="store_true",
+        help="open (or update in place — never duplicate) a GitHub "
+        "issue via `gh` when a regression flag persisted across "
+        "--issue-min-nights consecutive snapshots",
+    )
+    trend.add_argument(
+        "--issue-min-nights",
+        type=int,
+        default=3,
+        help="consecutive flagged snapshots before an issue is "
+        "opened/updated (default 3)",
+    )
+    trend.add_argument(
+        "--issue-dry-run",
+        action="store_true",
+        help="report what --open-issue would do without calling gh",
+    )
     return parser
+
+
+def _parse_tolerances(items: Optional[Sequence[str]]):
+    """Split repeated --tolerance values into (global, overrides).
+
+    A bare float is the global tolerance (last one wins);
+    ``scenario:metric=X`` entries build the per-pair override map
+    consulted ahead of ``trend.TREND_TOLERANCES``.
+    """
+    global_tolerance = 0.2
+    overrides: Dict[str, float] = {}
+    for item in items or ():
+        key, sep, value = item.partition("=")
+        if not sep:
+            try:
+                global_tolerance = float(item)
+            except ValueError:
+                raise SystemExit(
+                    f"--tolerance expects a number or scenario:metric=X, "
+                    f"got {item!r}"
+                )
+            continue
+        if ":" not in key:
+            raise SystemExit(
+                f"--tolerance override key must be scenario:metric, got {key!r}"
+            )
+        try:
+            overrides[key] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--tolerance {key} expects a numeric value, got {value!r}"
+            )
+    return global_tolerance, overrides
 
 
 def _cmd_list() -> int:
@@ -180,6 +257,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_points=args.max_points,
         retry_failed=args.retry_failed,
         progress=print,
+        kernel_workers=args.kernel_workers,
     )
     agg = _report.aggregate(scn.name, result.rows)
     _report.render_table(agg).print()
@@ -221,13 +299,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_trend(args: argparse.Namespace) -> int:
     from repro.exp import trend as _trend
 
+    tolerance, tolerance_overrides = _parse_tolerances(args.tolerance)
     try:
         snapshots = _trend.discover_snapshots(args.snapshots)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     try:
-        trend = _trend.compute_trend(snapshots, tolerance=args.tolerance)
+        trend = _trend.compute_trend(
+            snapshots, tolerance=tolerance, overrides=tolerance_overrides or None
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -245,6 +326,26 @@ def _cmd_trend(args: argparse.Namespace) -> int:
             f"  REGRESSED {item['scenario']} {canonical_params(item['params'])} "
             f"{item['metric']}: {item['baseline']:.4g} -> {item['latest']:.4g}"
         )
+    if args.open_issue or args.issue_dry_run:
+        from repro.exp import alerts as _alerts
+
+        # Same non-blocking discipline as the trend report: issue sync
+        # failures (no gh, no token, network) are surfaced, never fatal.
+        try:
+            outcome = _alerts.sync_regression_issue(
+                trend,
+                min_snapshots=args.issue_min_nights,
+                dry_run=args.issue_dry_run,
+            )
+        except Exception as exc:  # pragma: no cover - environment-specific
+            print(f"issue sync failed (non-blocking): {exc}", file=sys.stderr)
+        else:
+            print(
+                f"issue sync: {outcome['action']} "
+                f"({outcome['flags']} persistent flag(s))"
+            )
+            if args.issue_dry_run and outcome.get("body"):
+                print(outcome["body"])
     # Reporting tool, not a gate: regressions are surfaced, the exit
     # code stays 0 so the nightly trend step never fails the job.
     return 0

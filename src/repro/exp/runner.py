@@ -22,6 +22,7 @@ Design invariants:
 from __future__ import annotations
 
 import math
+import os
 import signal
 import time
 import traceback
@@ -37,16 +38,49 @@ from repro.exp.store import (
     jsonify,
     row_key,
 )
+from repro.graphs.parallel import KERNEL_WORKERS_ENV
 
 #: A picklable trial work item: (scenario, params, trial, root_seed,
-#: timeout, code_version[, func_module]).  The seed sequence is
-#: re-derived in the worker from the first four fields.  The optional
-#: trailing element names the module that registered the scenario:
-#: under a spawn/forkserver start method the worker's registry only
-#: holds the first-party scenarios (imported with repro.exp), so the
-#: worker imports that module to re-register user scenarios before
-#: resolving by name.  Under fork it is never needed.
+#: timeout, code_version[, func_module[, kernel_workers]]).  The seed
+#: sequence is re-derived in the worker from the first four fields.
+#: The optional seventh element names the module that registered the
+#: scenario: under a spawn/forkserver start method the worker's
+#: registry only holds the first-party scenarios (imported with
+#: repro.exp), so the worker imports that module to re-register user
+#: scenarios before resolving by name.  Under fork it is never needed.
+#: The optional eighth element pins ``REPRO_KERNEL_WORKERS`` for the
+#: trial's duration — how :func:`coordinate_parallelism`'s split
+#: reaches the CSR kernels without touching the trial's row (kernel
+#: sharding is bit-invisible, so it must never enter the resume key).
 TrialSpec = Tuple[Any, ...]
+
+
+def coordinate_parallelism(
+    workers: int,
+    prefer_kernel_parallelism: bool = False,
+    kernel_workers: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Split one worker budget between trial- and kernel-sharding.
+
+    Returns ``(trial_workers, kernel_workers)`` with
+    ``max(trial_workers, 1) * kernel_workers <= max(workers, 1)`` —
+    the two parallelism levels never oversubscribe the budget the
+    caller asked for.  ``trial_workers == 0`` means "run trials inline"
+    (no trial pool): that is the resolution for scale scenarios that
+    declare ``prefer_kernel_parallelism`` — one trial at a time with
+    every core in the chunk-sharded kernels.  An explicit
+    ``kernel_workers`` caps kernel sharding and gives the rest of the
+    budget to trial sharding.
+    """
+    budget = max(1, workers)
+    if kernel_workers is None:
+        resolved_kernel = budget if prefer_kernel_parallelism else 1
+    else:
+        resolved_kernel = max(1, min(int(kernel_workers), budget))
+    trial_workers = budget // resolved_kernel
+    if workers <= 0 or trial_workers <= 1:
+        trial_workers = 0
+    return trial_workers, resolved_kernel
 
 
 class TrialTimeout(Exception):
@@ -70,8 +104,18 @@ def _call_with_timeout(func: Callable[[], Dict[str, Any]], timeout: Optional[flo
 
 
 def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
-    """Run one trial spec to a result row (never raises)."""
+    """Run one trial spec to a result row (never raises).
+
+    When the spec carries a kernel-worker count (element 8), the trial
+    runs with ``REPRO_KERNEL_WORKERS`` pinned to it: scenario functions
+    don't thread ``kernel_workers=`` explicitly — the environment
+    default reaches every CSR kernel call — and the coordination rule
+    (``trials x kernel_workers <= budget``) holds even when the caller
+    exported a global override.  The pin never touches the row, so rows
+    stay bit-identical at any kernel-worker count.
+    """
     name, params, trial, root_seed, timeout, version = spec[:6]
+    kernel_workers = spec[7] if len(spec) > 7 else None
     row: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "scenario": name,
@@ -83,6 +127,9 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
         "metrics": {},
         "error": None,
     }
+    previous_env = os.environ.get(KERNEL_WORKERS_ENV)
+    if kernel_workers is not None:
+        os.environ[KERNEL_WORKERS_ENV] = str(kernel_workers)
     start = time.perf_counter()
     try:
         try:
@@ -109,6 +156,12 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
     except Exception:
         row["status"] = "error"
         row["error"] = traceback.format_exc(limit=20)
+    finally:
+        if kernel_workers is not None:
+            if previous_env is None:
+                os.environ.pop(KERNEL_WORKERS_ENV, None)
+            else:
+                os.environ[KERNEL_WORKERS_ENV] = previous_env
     row["elapsed_s"] = time.perf_counter() - start
     return row
 
@@ -171,6 +224,7 @@ def run_scenario(
     max_points: Optional[int] = None,
     retry_failed: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    kernel_workers: Optional[int] = None,
 ) -> RunResult:
     """Run (or resume) a scenario sweep.
 
@@ -182,9 +236,17 @@ def run_scenario(
         Result store for persistence + resume; ``None`` keeps rows
         in memory only (used by the thin pytest benches).
     workers:
-        ``0`` runs trials inline in this process; ``k >= 1`` shards
-        chunks of trials across ``k`` worker processes.  The produced
-        rows are identical either way.
+        ``0`` runs trials inline in this process; ``k >= 1`` is the
+        total parallelism budget.  :func:`coordinate_parallelism`
+        splits it between trial sharding and kernel sharding — normal
+        scenarios shard trials (kernels serial); scenarios that declare
+        ``prefer_kernel_parallelism`` run one trial at a time with the
+        whole budget in the chunk-sharded CSR kernels.  The produced
+        rows are identical in every configuration.
+    kernel_workers:
+        Explicit kernel-worker count per trial (caps the kernel share
+        of the budget; the rest shards trials).  ``None`` lets the
+        scenario's declaration decide.
     trials / timeout:
         Override the scenario's per-point trial count / per-trial
         timeout (seconds).
@@ -206,10 +268,24 @@ def run_scenario(
     per_point = scn.trials if trials is None else trials
     per_trial_timeout = scn.timeout if timeout is None else timeout
     version = code_version()
+    trial_workers, trial_kernel_workers = coordinate_parallelism(
+        workers,
+        getattr(scn, "prefer_kernel_parallelism", False),
+        kernel_workers,
+    )
 
     func_module = getattr(scn.func, "__module__", None) or ""
     specs: List[TrialSpec] = [
-        (scn.name, point, trial, root_seed, per_trial_timeout, version, func_module)
+        (
+            scn.name,
+            point,
+            trial,
+            root_seed,
+            per_trial_timeout,
+            version,
+            func_module,
+            trial_kernel_workers,
+        )
         for point in points
         for trial in range(per_point)
     ]
@@ -251,7 +327,8 @@ def run_scenario(
     say(
         f"{scn.name}: {len(points)} param point(s) x {per_point} trial(s) = "
         f"{len(specs)} total; {len(specs) - len(pending)} cached, "
-        f"{len(pending)} to run ({workers or 'inline'} workers)"
+        f"{len(pending)} to run ({trial_workers or 'inline'} trial workers "
+        f"x {trial_kernel_workers} kernel workers)"
     )
     if cached_failures:
         say(
@@ -270,18 +347,18 @@ def run_scenario(
             say(f"  {row['status'].upper()}: {label}: {str(row['error']).strip().splitlines()[-1]}")
 
     if pending:
-        if workers <= 0:
+        if trial_workers <= 0:
             for spec in pending:
                 record(execute_trial(spec))
         else:
             # Chunked dispatch; futures drained in submission order so
             # the store's append order is deterministic.
-            chunk_size = max(1, math.ceil(len(pending) / (workers * 4)))
+            chunk_size = max(1, math.ceil(len(pending) / (trial_workers * 4)))
             chunks = [
                 pending[lo : lo + chunk_size]
                 for lo in range(0, len(pending), chunk_size)
             ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(max_workers=trial_workers) as pool:
                 futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
                 for future in futures:
                     for row in future.result():

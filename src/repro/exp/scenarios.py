@@ -98,6 +98,13 @@ class Scenario:
     trials: int = 8
     timeout: Optional[float] = None
     tags: Tuple[str, ...] = ()
+    #: Scale scenarios whose single trial saturates the machine through
+    #: the chunk-sharded CSR kernels (``kernel_workers``) declare True:
+    #: the runner then executes trials one at a time and hands the whole
+    #: worker budget to the kernels instead of sharding trials — so
+    #: ``trials x kernel_workers`` never oversubscribes (see
+    #: ``runner.coordinate_parallelism``).
+    prefer_kernel_parallelism: bool = False
 
     def param_points(
         self, overrides: Optional[Mapping[str, Sequence[Any]]] = None
@@ -142,6 +149,7 @@ def scenario(
     trials: int = 8,
     timeout: Optional[float] = None,
     tags: Sequence[str] = (),
+    prefer_kernel_parallelism: bool = False,
 ) -> Callable[[TrialFunc], Scenario]:
     """Decorator: register the function as a scenario trial runner."""
 
@@ -156,6 +164,7 @@ def scenario(
                 trials=trials,
                 timeout=timeout,
                 tags=tuple(tags),
+                prefer_kernel_parallelism=prefer_kernel_parallelism,
             )
         )
 
@@ -401,9 +410,11 @@ def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, A
     "weak-diameter audit skipped at these sizes).  geometric-100000 is "
     "the scale frontier: its ~230-hop diameter makes the one-shot "
     "n_v-estimation sweep run ~13x more levels than the 3-regular "
-    "families (>= 1 h/trial on a 1-core container; the nightly job "
-    "excludes this point — see nightly.yml) and the timeout budgets "
-    "for it",
+    "families (>= 1 h/trial on a 1-core container) — "
+    "prefer_kernel_parallelism hands each trial the whole worker "
+    "budget through the chunk-sharded kernels, which is what keeps "
+    "the point inside the nightly budget; the timeout covers the "
+    "serial worst case",
     grid={
         "family": (
             "random-3-regular-100000",
@@ -416,6 +427,7 @@ def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, A
     trials=2,
     timeout=7200.0,
     tags=("scale",),
+    prefer_kernel_parallelism=True,
 )
 def _ldd_scale_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
     from repro.core import LddParams, chang_li_ldd
@@ -799,6 +811,52 @@ def _kernel_speed_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, 
         "estimate_nv_speedup": timings["estimate_nv_python_s"]
         / max(timings["estimate_nv_csr_s"], 1e-12),
         "backends_identical": a.deleted == b.deleted and a.clusters == b.clusters,
+    }
+
+
+@scenario(
+    name="kernel-parallel",
+    description="E15b: serial vs process-sharded all_ball_sizes wall time "
+    "(multiprocessing.shared_memory chunk sharding) with a bit-identity "
+    "gate; geometric-100000 is the acceptance point (~3x on 4 cores)",
+    grid={"family": ("random-3-regular-20000", "geometric-100000")},
+    trials=1,
+    timeout=7200.0,
+    tags=("timing",),
+    prefer_kernel_parallelism=True,
+)
+def _kernel_parallel_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    import os
+
+    from repro.graphs.parallel import resolve_kernel_workers
+
+    (graph_seq,) = ctx.spawn(1)
+    graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    csr = graph.csr()
+    # Under runner coordination (prefer_kernel_parallelism) the resolved
+    # count is the trial's whole worker budget; standalone runs force at
+    # least 2 so the sharded path is actually exercised (a 1-core box
+    # oversubscribes — wall parity, not speedup, is expected there).
+    workers = max(2, resolve_kernel_workers(None))
+    start = time.perf_counter()
+    serial = csr.all_ball_sizes(None, kernel_workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = csr.all_ball_sizes(None, kernel_workers=workers)
+    parallel_s = time.perf_counter() - start
+    identical = (
+        serial[0].tobytes() == parallel[0].tobytes()
+        and serial[1].tobytes() == parallel[1].tobytes()
+    )
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "kernel_workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "ball_serial_s": serial_s,
+        "ball_parallel_s": parallel_s,
+        "parallel_speedup": serial_s / max(parallel_s, 1e-12),
+        "bit_identical": identical,
     }
 
 

@@ -36,7 +36,43 @@ from repro.util.tables import Table
 #: Metric-name suffixes treated as wall-clock measurements.
 TIMING_SUFFIXES = ("_s",)
 
+#: Per-``scenario:metric`` default tolerance overrides, consulted when
+#: neither the caller nor the CLI supplies one for that pair (CLI
+#: ``--tolerance scenario:metric=X`` > this table > the global
+#: tolerance).  Entries exist for metrics whose nightly trial budget
+#: (1-2 trials) makes the aggregate mean inherently noisy — a tight
+#: global tolerance would page on sampling noise, not regressions.
+TREND_TOLERANCES: Dict[str, float] = {
+    # Bernoulli collapse/cut rates estimated from 2 nightly trials
+    # swing by whole multiples of a 20% band.
+    "en-failure:collapsed": 0.75,
+    "mpx-failure:heavy_cut": 0.75,
+    # Cluster-count/size shape of a 1-trial randomized decomposition.
+    "ldd-scale:num_clusters": 0.4,
+    "ldd-scale:largest_cluster": 0.6,
+}
+
 _BENCH_PATTERN = re.compile(r"BENCH_(?P<scenario>.+)\.json\Z")
+
+
+def resolve_tolerance(
+    scenario: str,
+    metric: str,
+    tolerance: float,
+    overrides: Optional[Dict[str, float]] = None,
+) -> float:
+    """The flagging tolerance for one (scenario, metric) pair.
+
+    Precedence: an explicit ``overrides`` entry (CLI ``--tolerance
+    scenario:metric=X``) > the :data:`TREND_TOLERANCES` table > the
+    global ``tolerance``.
+    """
+    key = f"{scenario}:{metric}"
+    if overrides and key in overrides:
+        return overrides[key]
+    if key in TREND_TOLERANCES:
+        return TREND_TOLERANCES[key]
+    return tolerance
 
 
 def _is_timing_scenario(scenario: str) -> bool:
@@ -117,6 +153,7 @@ def _load_aggregate(path: Path) -> Optional[Dict[str, Any]]:
 def compute_trend(
     snapshots: Sequence[Tuple[str, Dict[str, Path]]],
     tolerance: float = 0.2,
+    overrides: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     """The TREND structure over ordered snapshots.
 
@@ -126,10 +163,22 @@ def compute_trend(
     value, ``latest`` the last; ``change`` is their relative delta
     (guarded for a zero baseline), and a non-timing metric whose
     ``|change| > tolerance`` is flagged and listed under
-    ``regressions``.
+    ``regressions``.  Each entry also carries ``flag_series`` — whether
+    every individual snapshot's value deviates from the baseline beyond
+    tolerance — which is what the nightly issue automation reads to
+    decide whether a flag has *persisted* (see
+    :func:`persistent_regressions`).
+
+    ``tolerance`` is the global band; ``overrides`` maps
+    ``"scenario:metric"`` keys to per-pair tolerances and takes
+    precedence over the built-in :data:`TREND_TOLERANCES` table (see
+    :func:`resolve_tolerance`).
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    for key, value in (overrides or {}).items():
+        if value < 0:
+            raise ValueError(f"tolerance for {key!r} must be >= 0, got {value}")
     labels = [label for label, _ in snapshots]
     # series[scenario][point_key][metric] -> [value per snapshot]
     series: Dict[str, Dict[str, Dict[str, List[Optional[float]]]]] = {}
@@ -163,15 +212,36 @@ def compute_trend(
                 values = series[scenario][key][name]
                 present = [v for v in values if v is not None]
                 baseline, latest = present[0], present[-1]
-                if baseline == 0.0:
-                    change = 0.0 if latest == 0.0 else float("inf")
-                else:
-                    change = (latest - baseline) / abs(baseline)
+                metric_tolerance = resolve_tolerance(
+                    scenario, name, tolerance, overrides
+                )
+
+                def relative_change(value: float) -> float:
+                    if baseline == 0.0:
+                        return 0.0 if value == 0.0 else float("inf")
+                    return (value - baseline) / abs(baseline)
+
+                change = relative_change(latest)
                 timing = _is_timing_metric(name, scenario_is_timing)
+                seen_baseline = False
+                flag_series: List[Optional[bool]] = []
+                for value in values:
+                    if value is None:
+                        flag_series.append(None)
+                        continue
+                    if not seen_baseline:
+                        # The baseline snapshot itself can't deviate.
+                        seen_baseline = True
+                        flag_series.append(False)
+                        continue
+                    flag_series.append(
+                        not timing
+                        and abs(relative_change(value)) > metric_tolerance
+                    )
                 flagged = (
                     not timing
                     and len(present) >= 2
-                    and abs(change) > tolerance
+                    and abs(change) > metric_tolerance
                 )
                 entry = {
                     "series": values,
@@ -179,6 +249,8 @@ def compute_trend(
                     "latest": latest,
                     "change": None if change == float("inf") else change,
                     "flagged": flagged,
+                    "flag_series": flag_series,
+                    "tolerance": metric_tolerance,
                     "timing": timing,
                 }
                 metrics_out[name] = entry
@@ -191,6 +263,10 @@ def compute_trend(
                             "baseline": baseline,
                             "latest": latest,
                             "change": entry["change"],
+                            "tolerance": metric_tolerance,
+                            "persisted_snapshots": _trailing_flag_run(
+                                flag_series
+                            ),
                         }
                     )
             points_out.append(
@@ -208,6 +284,40 @@ def compute_trend(
         "scenarios": scenarios_out,
         "regressions": regressions,
     }
+
+
+def _trailing_flag_run(flag_series: Sequence[Optional[bool]]) -> int:
+    """Length of the trailing run of flagged snapshots.
+
+    ``None`` entries (snapshot lacked the metric) break the run: a
+    metric that vanished last night has not "persisted" through it.
+    """
+    run = 0
+    for flag in reversed(list(flag_series)):
+        if flag is not True:
+            break
+        run += 1
+    return run
+
+
+def persistent_regressions(
+    trend: Dict[str, Any], min_snapshots: int = 3
+) -> List[Dict[str, Any]]:
+    """Flagged metrics whose deviation held for the trailing
+    ``min_snapshots`` consecutive snapshots.
+
+    This is the nightly follow-up filter: one bad night is noise, the
+    same metric out of band three nights running is a regression worth
+    an issue.  Entries are the ``regressions`` records (already sorted
+    by scenario) whose ``persisted_snapshots`` meets the bar.
+    """
+    if min_snapshots < 1:
+        raise ValueError(f"min_snapshots must be >= 1, got {min_snapshots}")
+    return [
+        item
+        for item in trend.get("regressions", ())
+        if item.get("persisted_snapshots", 0) >= min_snapshots
+    ]
 
 
 def render_trend_table(trend: Dict[str, Any]) -> Table:

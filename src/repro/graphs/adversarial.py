@@ -17,7 +17,7 @@ Both can be given arbitrarily large diameter via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.generators import complete_graph

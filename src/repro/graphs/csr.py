@@ -37,6 +37,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.graphs import parallel as _parallel
 from repro.util.validation import require
 
 #: Recognized values for the ``backend=`` parameter used across the
@@ -245,6 +246,8 @@ class CsrGraph:
         "_starts",
         "_zero_degree",
         "_padded",
+        "_shared",
+        "__weakref__",
     )
 
     def __init__(self, graph) -> None:
@@ -263,6 +266,11 @@ class CsrGraph:
             dtype=np.int64,
             count=nnz,
         )
+        self._init_from_arrays(n, nnz, indptr, indices, degrees)
+        self._padded = False  # degree-padded table, built lazily
+
+    def _init_from_arrays(self, n, nnz, indptr, indices, degrees) -> None:
+        self.n = n
         self.nnz = nnz
         self.indptr = indptr
         self.indices = indices
@@ -277,7 +285,32 @@ class CsrGraph:
         self._starts = indptr[:-1]
         zero = degrees == 0
         self._zero_degree = np.nonzero(zero)[0] if zero.any() else None
-        self._padded = False  # degree-padded table, built lazily
+        self._shared = None  # shared-memory export, built lazily
+
+    @classmethod
+    def _from_shared_arrays(
+        cls,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        padded: Optional[np.ndarray],
+    ) -> "CsrGraph":
+        """Worker-side constructor over shared-memory CSR arrays.
+
+        ``indptr``/``indices`` (and ``padded``, when the parent's
+        skew check admitted the table) are zero-copy views of the
+        parent's :mod:`multiprocessing.shared_memory` segments; the
+        derived arrays are rebuilt locally in O(n + m).  ``padded=None``
+        replays the parent's decision to keep the segmented-reduceat
+        expansion, so every worker computes exactly what the serial
+        loop would.
+        """
+        csr = object.__new__(cls)
+        csr._init_from_arrays(
+            n, int(indptr[-1]) if n else 0, indptr, indices, np.diff(indptr)
+        )
+        csr._padded = padded if padded is not None else None
+        return csr
 
     # ------------------------------------------------------------------
     # Internals
@@ -438,6 +471,7 @@ class CsrGraph:
         within: Optional[Iterable[int]] = None,
         sources: Optional[Iterable[int]] = None,
         chunk_size: Optional[int] = None,
+        kernel_workers: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Ball sizes ``|N^radius(v)|`` for a whole batch of sources.
 
@@ -450,6 +484,14 @@ class CsrGraph:
         the sweep as soon as they saturate (see :meth:`_ball_chunk`) —
         a whole-graph ``radius`` costs no more than the graph's
         diameter in levels.
+
+        ``kernel_workers`` shards the (independent) source chunks over
+        worker processes attached to the CSR arrays via shared memory;
+        chunk boundaries and per-chunk computation are exactly the
+        serial loop's, and results merge in chunk order, so sizes and
+        depths are bit-identical at any worker count.  ``None`` resolves
+        through :func:`repro.graphs.parallel.resolve_kernel_workers`
+        (``REPRO_KERNEL_WORKERS``, default serial).
         """
         require(radius is None or radius >= 0, "radius must be >= 0")
         mask = self._allowed_mask(within)
@@ -467,10 +509,24 @@ class CsrGraph:
         sizes = np.zeros(len(src), dtype=np.float64)
         depths = np.zeros(len(src), dtype=np.int64)
         chunk = self._chunk_width(chunk_size)
-        for lo in range(0, len(src), chunk):
-            s_chunk = src[lo : lo + chunk]
+        chunks = [src[lo : lo + chunk] for lo in range(0, len(src), chunk)]
+        workers = _parallel.resolve_kernel_workers(kernel_workers)
+        if workers > 1 and len(chunks) > 1:
+            results = _parallel.run_chunk_tasks(
+                self, "ball", chunks, (radius, w, mask), workers
+            )
+            lo = 0
+            for s_chunk, (s_sizes, s_depths) in zip(chunks, results):
+                hi = lo + len(s_chunk)
+                sizes[lo:hi] = s_sizes
+                depths[lo:hi] = s_depths
+                lo = hi
+            return sizes, depths
+        lo = 0
+        for s_chunk in chunks:
             hi = lo + len(s_chunk)
             self._ball_chunk(s_chunk, radius, w, mask, sizes[lo:hi], depths[lo:hi])
+            lo = hi
         return sizes, depths
 
     def _ball_chunk(
@@ -604,11 +660,17 @@ class CsrGraph:
         radius: Optional[int] = None,
         within: Optional[Iterable[int]] = None,
         chunk_size: Optional[int] = None,
+        kernel_workers: Optional[int] = None,
     ) -> np.ndarray:
         """Batched per-source distances: (S, n) int64, −1 unreached.
 
         Row ``j`` is the single-source BFS distance vector of
         ``sources[j]`` (restricted to ``within`` when given).
+        ``kernel_workers`` shards source chunks over worker processes;
+        distances are exact integers independent of chunk boundaries,
+        so the matrix is bit-identical at any worker count (a default
+        chunk too wide to fill the workers is narrowed to spread the
+        sources — pass ``chunk_size`` to pin the serial chunking).
         """
         require(radius is None or radius >= 0, "radius must be >= 0")
         mask = self._allowed_mask(within)
@@ -620,34 +682,70 @@ class CsrGraph:
             )
         dist = np.full((len(src), self.n), -1, dtype=np.int64)
         chunk = self._chunk_width(chunk_size)
-        for lo in range(0, len(src), chunk):
-            s_chunk = src[lo : lo + chunk]
-            count = len(s_chunk)
-            if count == 0:
-                continue
-            visited = self._seed_packed(s_chunk, count, mask)
-            sweep = _PackedSweep(self, visited.shape[1])
-            block = dist[lo : lo + chunk]
-            block[self._unpack(visited, count).T] = 0
-            frontier = visited.copy()
-            r = 0
-            while radius is None or r < radius:
-                new = sweep.expand(frontier, visited, mask)
-                if not new.any():
-                    break
-                r += 1
-                block[self._unpack(new, count).T] = r
-                frontier = new
+        workers = _parallel.resolve_kernel_workers(kernel_workers)
+        if workers > 1 and chunk_size is None and src.size:
+            chunk = max(1, min(chunk, -(-len(src) // workers)))
+        chunks = [
+            (lo, src[lo : lo + chunk]) for lo in range(0, len(src), chunk)
+        ]
+        if workers > 1 and len(chunks) > 1:
+            results = _parallel.run_chunk_tasks(
+                self,
+                "dist",
+                [s_chunk for _, s_chunk in chunks],
+                (radius, mask),
+                workers,
+            )
+            for (lo, s_chunk), block in zip(chunks, results):
+                dist[lo : lo + len(s_chunk)] = block
+            return dist
+        for lo, s_chunk in chunks:
+            if len(s_chunk):
+                dist[lo : lo + len(s_chunk)] = self._distances_chunk(
+                    s_chunk, radius, mask
+                )
         return dist
+
+    def _distances_chunk(
+        self,
+        s_chunk: np.ndarray,
+        radius: Optional[int],
+        mask: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Distance rows of one source chunk: (len(s_chunk), n) int64."""
+        count = len(s_chunk)
+        block = np.full((count, self.n), -1, dtype=np.int64)
+        visited = self._seed_packed(s_chunk, count, mask)
+        sweep = _PackedSweep(self, visited.shape[1])
+        block[self._unpack(visited, count).T] = 0
+        frontier = visited.copy()
+        r = 0
+        while radius is None or r < radius:
+            new = sweep.expand(frontier, visited, mask)
+            if not new.any():
+                break
+            r += 1
+            block[self._unpack(new, count).T] = r
+            frontier = new
+        return block
 
     # ------------------------------------------------------------------
     # Derived structures
     # ------------------------------------------------------------------
-    def power(self, k: int, chunk_size: Optional[int] = None):
+    def power(
+        self,
+        k: int,
+        chunk_size: Optional[int] = None,
+        kernel_workers: Optional[int] = None,
+    ):
         """The k-th power graph ``G^k`` (edge when ``1 <= dist <= k``).
 
         Batched reachability from every vertex followed by a trusted
         bulk :class:`Graph` construction — no per-edge Python loop.
+        ``kernel_workers`` shards the source chunks over worker
+        processes; the final lexsort orders the merged edge arrays
+        globally, so the produced graph is identical at any worker
+        count (and any chunking).
         """
         from repro.graphs.graph import Graph
 
@@ -655,28 +753,46 @@ class CsrGraph:
         us: List[np.ndarray] = []
         vs: List[np.ndarray] = []
         chunk = self._chunk_width(chunk_size)
+        workers = _parallel.resolve_kernel_workers(kernel_workers)
+        if workers > 1 and chunk_size is None and self.n:
+            chunk = max(1, min(chunk, -(-self.n // workers)))
         src = np.arange(self.n, dtype=np.int64)
-        for lo in range(0, self.n, chunk):
-            s_chunk = src[lo : lo + chunk]
-            count = len(s_chunk)
-            visited = self._seed_packed(s_chunk, count, None)
-            sweep = _PackedSweep(self, visited.shape[1])
-            frontier = visited.copy()
-            for _ in range(k):
-                new = sweep.expand(frontier, visited, None)
-                if not new.any():
-                    break
-                frontier = new
-            unpacked = self._unpack(visited, count)
-            reached, col = np.nonzero(unpacked)
-            source = s_chunk[col]
-            keep = reached < source  # each unordered pair once, as (u, v) u < v
-            us.append(reached[keep])
-            vs.append(source[keep])
+        chunks = [src[lo : lo + chunk] for lo in range(0, self.n, chunk)]
+        if workers > 1 and len(chunks) > 1:
+            results = _parallel.run_chunk_tasks(
+                self, "power", chunks, (k,), workers
+            )
+            for chunk_us, chunk_vs in results:
+                us.append(chunk_us)
+                vs.append(chunk_vs)
+        else:
+            for s_chunk in chunks:
+                chunk_us, chunk_vs = self._power_chunk(s_chunk, k)
+                us.append(chunk_us)
+                vs.append(chunk_vs)
         u_all = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
         v_all = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
         order = np.lexsort((v_all, u_all))
         return Graph._from_sorted_edge_arrays(self.n, u_all[order], v_all[order])
+
+    def _power_chunk(
+        self, s_chunk: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``G^k`` edges incident to one source chunk, as (u, v) u < v."""
+        count = len(s_chunk)
+        visited = self._seed_packed(s_chunk, count, None)
+        sweep = _PackedSweep(self, visited.shape[1])
+        frontier = visited.copy()
+        for _ in range(k):
+            new = sweep.expand(frontier, visited, None)
+            if not new.any():
+                break
+            frontier = new
+        unpacked = self._unpack(visited, count)
+        reached, col = np.nonzero(unpacked)
+        source = s_chunk[col]
+        keep = reached < source  # each unordered pair once, as (u, v) u < v
+        return reached[keep], source[keep]
 
     def connected_components(
         self, within: Optional[Iterable[int]] = None
@@ -735,38 +851,65 @@ class CsrGraph:
             components.append(set(comp))
         return components
 
-    def weak_diameter(self, subset: Iterable[int]) -> float:
+    def weak_diameter(
+        self, subset: Iterable[int], kernel_workers: Optional[int] = None
+    ) -> float:
         """``max_{u,v in subset} dist_G(u, v)`` in the full graph."""
         vs = sorted(set(subset))
         if len(vs) <= 1:
             return 0
-        dist = self.distances_from(vs)[:, vs]
+        dist = self.distances_from(vs, kernel_workers=kernel_workers)[:, vs]
         if (dist < 0).any():
             return float("inf")
         return float(dist.max())
 
-    def eccentricities(self, chunk_size: Optional[int] = None) -> np.ndarray:
+    def eccentricities(
+        self,
+        chunk_size: Optional[int] = None,
+        kernel_workers: Optional[int] = None,
+    ) -> np.ndarray:
         """Per-vertex eccentricities as a float64 array (``inf`` when the
         vertex cannot reach every other vertex).
 
         Batched counterpart of looping :meth:`Graph.eccentricity` over
         all vertices; sources are processed in packed chunks so the
         distance matrix never materializes beyond one chunk.
+        ``kernel_workers`` shards the chunks over worker processes; the
+        per-chunk reduction (exact integer maxima) happens worker-side,
+        so only (chunk,)-sized results travel back and the array is
+        bit-identical at any worker count.
         """
         ecc = np.zeros(self.n, dtype=np.float64)
         chunk = self._chunk_width(chunk_size)
-        for lo in range(0, self.n, chunk):
-            hi = min(self.n, lo + chunk)
-            dist = self.distances_from(range(lo, hi))
-            block = dist.max(axis=1).astype(np.float64)
-            block[(dist < 0).any(axis=1)] = np.inf
-            ecc[lo:hi] = block
+        workers = _parallel.resolve_kernel_workers(kernel_workers)
+        if workers > 1 and chunk_size is None and self.n:
+            chunk = max(1, min(chunk, -(-self.n // workers)))
+        ranges = [
+            (lo, min(self.n, lo + chunk)) for lo in range(0, self.n, chunk)
+        ]
+        if workers > 1 and len(ranges) > 1:
+            results = _parallel.run_chunk_tasks(
+                self, "ecc", ranges, (), workers
+            )
+            for (lo, hi), block in zip(ranges, results):
+                ecc[lo:hi] = block
+            return ecc
+        for lo, hi in ranges:
+            ecc[lo:hi] = self._ecc_chunk(lo, hi)
         return ecc
+
+    def _ecc_chunk(self, lo: int, hi: int) -> np.ndarray:
+        """Eccentricities of vertices ``lo..hi-1`` as (hi-lo,) float64."""
+        dist = self.distances_from(range(lo, hi), chunk_size=max(1, hi - lo))
+        block = dist.max(axis=1).astype(np.float64)
+        block[(dist < 0).any(axis=1)] = np.inf
+        return block
 
     def girth(
         self,
         upper_bound: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        kernel_workers: Optional[int] = None,
     ) -> float:
         """Shortest cycle length (``inf`` for forests).
 
@@ -794,7 +937,9 @@ class CsrGraph:
             chunk = min(chunk, 32)
         for lo in range(0, self.n, chunk):
             hi = min(self.n, lo + chunk)
-            dist = self.distances_from(range(lo, hi))
+            dist = self.distances_from(
+                range(lo, hi), kernel_workers=kernel_workers
+            )
             for row in range(hi - lo):
                 d = dist[row]
                 du, dv = d[us], d[vs]

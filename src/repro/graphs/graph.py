@@ -190,12 +190,15 @@ class Graph:
             return float("inf")
         return max(dist.values(), default=0)
 
-    def diameter(self, backend: str = "python") -> float:
+    def diameter(
+        self, backend: str = "python", kernel_workers: Optional[int] = None
+    ) -> float:
         """Graph diameter (``inf`` when disconnected, 0 when n <= 1).
 
         ``backend="csr"`` computes all eccentricities in packed chunks
         (:meth:`~repro.graphs.csr.CsrGraph.eccentricities`) instead of
-        ``n`` single-source Python BFS passes.
+        ``n`` single-source Python BFS passes; ``kernel_workers``
+        shards those chunks over worker processes (csr only).
         """
         if self.n == 0:
             return 0
@@ -203,7 +206,7 @@ class Graph:
             from repro.graphs.csr import check_backend
 
             check_backend(backend)
-            ecc = self.csr().eccentricities()
+            ecc = self.csr().eccentricities(kernel_workers=kernel_workers)
             value = float(ecc.max())
             return value
         best = 0.0
@@ -285,20 +288,26 @@ class Graph:
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
-    def power(self, k: int, backend: str = "python") -> "Graph":
+    def power(
+        self,
+        k: int,
+        backend: str = "python",
+        kernel_workers: Optional[int] = None,
+    ) -> "Graph":
         """The k-th power graph ``G^k``: edge when ``1 <= dist <= k``.
 
         Used by the GKM17 baseline (network decomposition of ``G^{2k}``)
         and by the Section 1.6 blackbox construction.  ``backend="csr"``
         computes reachability for all vertices at once via the batched
-        kernel; the result is identical.
+        kernel; the result is identical.  ``kernel_workers`` shards the
+        kernel's source chunks over worker processes (csr only).
         """
         require(k >= 1, f"power k must be >= 1, got {k}")
         if backend != "python":
             from repro.graphs.csr import check_backend
 
             check_backend(backend)
-            return self.csr().power(k)
+            return self.csr().power(k, kernel_workers=kernel_workers)
         edges: List[Tuple[int, int]] = []
         for v in range(self.n):
             for u, d in self.bfs_distances([v], k).items():
@@ -306,14 +315,19 @@ class Graph:
                     edges.append((v, u))
         return Graph(self.n, edges)
 
-    def weak_diameter(self, subset: Iterable[int], backend: str = "python") -> float:
+    def weak_diameter(
+        self,
+        subset: Iterable[int],
+        backend: str = "python",
+        kernel_workers: Optional[int] = None,
+    ) -> float:
         """Weak diameter: ``max_{u,v in subset} dist_G(u, v)`` measured in
         the *full* graph (Definition 1.4)."""
         if backend != "python":
             from repro.graphs.csr import check_backend
 
             check_backend(backend)
-            return self.csr().weak_diameter(subset)
+            return self.csr().weak_diameter(subset, kernel_workers=kernel_workers)
         vs = sorted(set(subset))
         if len(vs) <= 1:
             return 0
@@ -327,13 +341,21 @@ class Graph:
                 best = max(best, d)
         return best
 
-    def strong_diameter(self, subset: Iterable[int], backend: str = "python") -> float:
+    def strong_diameter(
+        self,
+        subset: Iterable[int],
+        backend: str = "python",
+        kernel_workers: Optional[int] = None,
+    ) -> float:
         """Strong diameter: diameter of the induced subgraph ``G[subset]``."""
         sub, _ = self.induced_subgraph(subset)
-        return sub.diameter(backend=backend)
+        return sub.diameter(backend=backend, kernel_workers=kernel_workers)
 
     def girth(
-        self, upper_bound: Optional[int] = None, backend: str = "python"
+        self,
+        upper_bound: Optional[int] = None,
+        backend: str = "python",
+        kernel_workers: Optional[int] = None,
     ) -> float:
         """Length of the shortest cycle (``inf`` for forests).
 
@@ -348,7 +370,7 @@ class Graph:
             from repro.graphs.csr import check_backend
 
             check_backend(backend)
-            return self.csr().girth(upper_bound)
+            return self.csr().girth(upper_bound, kernel_workers=kernel_workers)
         best = float("inf")
         for root in range(self.n):
             dist = {root: 0}

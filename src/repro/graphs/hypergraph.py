@@ -11,12 +11,10 @@ adjacent when they co-occur in a hyperedge).
 from __future__ import annotations
 
 from typing import (
-    Dict,
     FrozenSet,
     Iterable,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )

@@ -8,7 +8,7 @@ summary statistics for low-diameter decompositions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
 
@@ -103,6 +103,7 @@ def decomposition_stats(
     deleted: Set[int],
     compute_strong: bool = False,
     backend: str = "csr",
+    kernel_workers: Optional[int] = None,
 ) -> DecompositionStats:
     """Measure a decomposition against Definition 1.4.
 
@@ -111,16 +112,27 @@ def decomposition_stats(
     engine for the per-cluster diameter sweeps: ``"csr"`` (default)
     measures each cluster with one batched packed-frontier expansion,
     ``"python"`` with per-vertex BFS; values are identical.
+    ``kernel_workers`` (csr only) shards each cluster's distance chunks
+    over worker processes — the values are exact hop counts, identical
+    at any worker count.
     """
     max_weak = 0.0
     max_strong = 0.0
     max_size = 0
     for cluster in clusters:
         max_size = max(max_size, len(cluster))
-        max_weak = max(max_weak, graph.weak_diameter(cluster, backend=backend))
+        max_weak = max(
+            max_weak,
+            graph.weak_diameter(
+                cluster, backend=backend, kernel_workers=kernel_workers
+            ),
+        )
         if compute_strong:
             max_strong = max(
-                max_strong, graph.strong_diameter(cluster, backend=backend)
+                max_strong,
+                graph.strong_diameter(
+                    cluster, backend=backend, kernel_workers=kernel_workers
+                ),
             )
     return DecompositionStats(
         n=graph.n,

@@ -1,0 +1,308 @@
+"""Process-parallel execution of the chunked CSR kernels.
+
+The batched kernels in :mod:`repro.graphs.csr` already split their
+source sets into independent chunks (64-source words packed per uint64
+column); the serial loop just runs the chunks one after another.  On
+multi-hour sweeps — the ``geometric-100000`` ball estimation is the
+canonical case — the bitset work of a chunk is near single-core memory
+bandwidth, so the remaining lever is running chunks on *different
+cores*.  This module does exactly that and nothing more:
+
+* the CSR arrays (``indptr``/``indices`` and, when eligible, the
+  degree-padded adjacency table) are published once per graph through
+  :mod:`multiprocessing.shared_memory` — workers attach by name and
+  rebuild a :class:`~repro.graphs.csr.CsrGraph` view with **zero
+  copies** of the adjacency structure;
+* worker processes live in cached :class:`ProcessPoolExecutor` pools
+  (spawn context: no fork/threads hazards, portable start-up) and run
+  the *identical* per-chunk kernel code the serial loop runs;
+* per-chunk results are merged **in chunk order**, so sizes/depths
+  (and every other kernel output) are bit-identical to the serial path
+  at any worker count.
+
+Worker-count resolution (:func:`resolve_kernel_workers`): an explicit
+``kernel_workers=`` argument wins and is honoured as given (tests force
+2/4 workers on 1-core boxes — oversubscription changes wall-clock, not
+results); otherwise the ``REPRO_KERNEL_WORKERS`` environment variable
+provides the default, capped at ``os.cpu_count()``; unset means 1
+(serial).  The :mod:`repro.exp` runner coordinates this knob with its
+trial sharding so ``trials x kernel_workers`` never oversubscribes the
+machine (see ``runner.coordinate_parallelism``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.util.validation import require
+
+#: Environment variable providing the default kernel worker count.
+KERNEL_WORKERS_ENV = "REPRO_KERNEL_WORKERS"
+
+#: How many distinct shared-CSR attachments a worker process keeps
+#: open; least-recently-used graphs beyond this are detached.
+_ATTACH_CACHE_SIZE = 4
+
+
+def resolve_kernel_workers(kernel_workers: Optional[int] = None) -> int:
+    """Resolve the effective kernel worker count (>= 1).
+
+    An explicit argument is validated and honoured as given — callers
+    that force 2 or 4 workers (determinism tests, benchmarks) get
+    exactly that many, cores notwithstanding.  ``None`` falls back to
+    the ``REPRO_KERNEL_WORKERS`` environment variable, auto-capped at
+    ``os.cpu_count()`` (a fleet-wide export can't oversubscribe a small
+    box); unset or unparsable means 1, the serial path.
+    """
+    if kernel_workers is not None:
+        require(
+            int(kernel_workers) >= 1,
+            f"kernel_workers must be >= 1, got {kernel_workers}",
+        )
+        return int(kernel_workers)
+    raw = os.environ.get(KERNEL_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, min(value, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# Parent side: shared-memory export of a CsrGraph
+# ----------------------------------------------------------------------
+
+#: Fields of a CsrGraph published through shared memory.  Everything
+#: else (`degrees`, `_gather_index`, `_starts`, `_zero_degree`) is
+#: derived from these in O(n + m) on first attach.
+_SHARED_FIELDS = ("indptr", "indices", "padded")
+
+
+class _SharedExport:
+    """Parent-side handle of one graph's shared-memory segments.
+
+    ``spec`` is the picklable description workers attach from:
+    ``{"token", "n", "nnz", "has_padded", "arrays": {field: (shm_name,
+    dtype_str, shape)}}``.  The export lives as long as its
+    :class:`CsrGraph` (a ``weakref.finalize`` unlinks the segments when
+    the graph is collected or the interpreter exits).
+    """
+
+    def __init__(self, csr) -> None:
+        from multiprocessing import shared_memory
+
+        arrays: Dict[str, np.ndarray] = {
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+        }
+        # Materialize the padded-adjacency decision in the parent so
+        # every worker replays it instead of re-deciding (the outputs
+        # are identical either way; sharing skips the per-worker build).
+        padded = csr._padded_adjacency()
+        if padded is not None:
+            arrays["padded"] = padded
+        self.segments = []
+        spec_arrays: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
+        try:
+            for field, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                self.segments.append(shm)
+                spec_arrays[field] = (shm.name, arr.dtype.str, arr.shape)
+        except BaseException:
+            self.close()
+            raise
+        self.spec = {
+            "token": spec_arrays["indptr"][0],
+            "n": csr.n,
+            "nnz": csr.nnz,
+            "has_padded": padded is not None,
+            "arrays": spec_arrays,
+        }
+
+    def close(self) -> None:
+        for shm in self.segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        self.segments = []
+
+
+def shared_spec(csr) -> Dict[str, Any]:
+    """The (cached) shared-memory spec of a :class:`CsrGraph`."""
+    export = csr._shared
+    if export is None:
+        export = _SharedExport(csr)
+        csr._shared = export
+        weakref.finalize(csr, export.close)
+    return export.spec
+
+
+# ----------------------------------------------------------------------
+# Worker side: attach and dispatch
+# ----------------------------------------------------------------------
+
+_ATTACHED: "OrderedDict[str, Tuple[Any, list]]" = OrderedDict()
+
+
+def _detach(entry: Tuple[Any, list]) -> None:
+    _csr, shms = entry
+    for shm in shms:
+        try:
+            shm.close()
+        except OSError:
+            pass
+
+
+def _attach(spec: Dict[str, Any]):
+    """Worker-side CsrGraph over the parent's shared arrays (cached)."""
+    token = spec["token"]
+    cached = _ATTACHED.get(token)
+    if cached is not None:
+        _ATTACHED.move_to_end(token)
+        return cached[0]
+    from multiprocessing import shared_memory
+
+    from repro.graphs.csr import CsrGraph
+
+    arrays: Dict[str, np.ndarray] = {}
+    shms = []
+    for field, (name, dtype, shape) in spec["arrays"].items():
+        # Attaching registers with the resource tracker too (no
+        # ``track=False`` before 3.13) — harmless here: spawned workers
+        # inherit the parent's tracker process, whose cache is a set,
+        # so the parent's registration stays the single entry and the
+        # parent's unlink is the single removal.
+        shm = shared_memory.SharedMemory(name=name)
+        shms.append(shm)
+        arrays[field] = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+        )
+    csr = CsrGraph._from_shared_arrays(
+        spec["n"],
+        arrays["indptr"],
+        arrays["indices"],
+        arrays.get("padded"),
+    )
+    while len(_ATTACHED) >= _ATTACH_CACHE_SIZE:
+        _detach(_ATTACHED.popitem(last=False)[1])
+    _ATTACHED[token] = (csr, shms)
+    return csr
+
+
+def _kernel_task(spec: Dict[str, Any], kind: str, common: tuple, payload):
+    """One chunk of kernel work, executed in a worker process.
+
+    Every branch calls the *same* per-chunk helper the serial loop in
+    :mod:`repro.graphs.csr` calls, so per-chunk outputs are bit-equal
+    to the serial computation by construction.
+    """
+    csr = _attach(spec)
+    if kind == "ball":
+        radius, weights, mask = common
+        s_chunk = payload
+        sizes = np.zeros(len(s_chunk), dtype=np.float64)
+        depths = np.zeros(len(s_chunk), dtype=np.int64)
+        csr._ball_chunk(s_chunk, radius, weights, mask, sizes, depths)
+        return sizes, depths
+    if kind == "dist":
+        radius, mask = common
+        return csr._distances_chunk(payload, radius, mask)
+    if kind == "ecc":
+        lo, hi = payload
+        return csr._ecc_chunk(lo, hi)
+    if kind == "power":
+        (k,) = common
+        return csr._power_chunk(payload, k)
+    raise ValueError(f"unknown kernel task kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Pools and dispatch
+# ----------------------------------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _init_kernel_worker() -> None:
+    """Pin kernel workers to serial execution.
+
+    Spawned workers inherit the parent's environment; without this, an
+    exported ``REPRO_KERNEL_WORKERS`` would make every worker try to
+    open its *own* nested pool inside :meth:`_ecc_chunk` and friends.
+    """
+    os.environ[KERNEL_WORKERS_ENV] = "1"
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """A cached worker pool of exactly ``workers`` processes.
+
+    The spawn context keeps worker start-up independent of the parent's
+    thread state (numpy pools, pytest plugins) and matches the default
+    on every platform from 3.14 on; pools are reused across calls so
+    the interpreter start-up cost is paid once per worker count.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp.get_context("spawn"),
+            initializer=_init_kernel_worker,
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+def run_chunk_tasks(
+    csr,
+    kind: str,
+    payloads: Sequence[Any],
+    common: tuple,
+    workers: int,
+) -> List[Any]:
+    """Fan chunk payloads out over ``workers`` processes, in order.
+
+    Results come back in payload order — the caller merges them exactly
+    where the serial loop would have written them, which is what makes
+    the parallel path bit-identical at any worker count.
+    """
+    spec = shared_spec(csr)
+    pool = _pool(workers)
+    futures = [
+        pool.submit(_kernel_task, spec, kind, common, payload)
+        for payload in payloads
+    ]
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        # An escaping exception — a worker fault, or the runner's
+        # SIGALRM trial timeout interrupting result() — must not leave
+        # orphaned chunk tasks running in the cached pool, where the
+        # next caller's chunks would queue behind them.
+        for future in futures:
+            future.cancel()
+        raise

@@ -23,9 +23,8 @@ assignment: variables already fixed to one reduce the right-hand sides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
-    Dict,
     FrozenSet,
     Iterable,
     List,

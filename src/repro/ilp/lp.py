@@ -12,7 +12,7 @@ Two uses:
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple, Union
+from typing import Set, Tuple, Union
 
 import numpy as np
 from scipy import optimize, sparse

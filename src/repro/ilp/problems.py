@@ -10,7 +10,7 @@ returned :class:`ProblemEncoding` carries the decoding map.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph

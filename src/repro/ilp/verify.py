@@ -9,7 +9,7 @@ relaxation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set, Union
+from typing import Iterable, Optional, Union
 
 from repro.ilp.exact import solve_covering_exact, solve_packing_exact
 from repro.ilp.instance import CoveringInstance, PackingInstance

@@ -9,10 +9,10 @@ closed-form behaviour the tests check exactly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.local.engine import EngineResult, run_synchronous
+from repro.local.engine import run_synchronous
 from repro.local.node import Broadcast, MessageAlgorithm, NodeContext
 from repro.util.rng import SeedLike
 from repro.util.validation import require

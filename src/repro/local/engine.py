@@ -14,7 +14,7 @@ experiments can report measured round complexity and CONGEST audits.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Graph

@@ -124,6 +124,7 @@ def gather_ball(
     label: str = "gather",
     within: Optional[Set[int]] = None,
     backend: str = "python",
+    kernel_workers: Optional[int] = None,
 ) -> GatherResult:
     """Gather ``N^radius(centers)`` as BFS layers, charging the ledger.
 
@@ -138,6 +139,12 @@ def gather_ball(
     then also be a precomputed boolean mask, letting carving drivers
     amortize the set-to-mask conversion across all carves of one
     residual snapshot.  The layers produced are identical.
+
+    ``kernel_workers`` is accepted for interface uniformity with the
+    chunked kernels but a gather is **one** multi-source BFS — its
+    levels are sequential and there are no independent chunks to
+    shard, so it always executes serially (see the kernel-parallelism
+    coverage matrix in ``src/repro/exp/README.md``).
     """
     require(radius >= 0, f"radius must be >= 0, got {radius}")
     if backend != "python":

@@ -19,8 +19,8 @@ against the CONGEST O(log n) budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from repro.util.rng import RngStream
 

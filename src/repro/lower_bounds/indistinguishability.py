@@ -22,9 +22,8 @@ This module provides
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Set
 
 from repro.graphs.graph import Graph
 from repro.graphs.metrics import is_independent_set

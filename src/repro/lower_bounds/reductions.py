@@ -20,7 +20,6 @@ from typing import Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.metrics import (
-    cut_size,
     is_dominating_set,
     is_independent_set,
     is_vertex_cover,

@@ -14,7 +14,7 @@ randomness does not depend on iteration order.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 import numpy as np
 

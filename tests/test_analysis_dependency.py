@@ -1,11 +1,9 @@
 """Tests for dependency-degree estimation (the Lemma A.3 premise)."""
 
-import math
 
 import pytest
 
 from repro.analysis.dependency import (
-    DependencyProfile,
     dependency_profile,
     sparsification_progress,
 )

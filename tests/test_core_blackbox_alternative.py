@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import alternative_packing, blackbox_ldd
-from repro.core.params import LddParams
 from repro.graphs import (
     cycle_graph,
     erdos_renyi_connected,

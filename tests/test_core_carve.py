@@ -1,18 +1,16 @@
 """Tests for the three Grow-and-Carve subroutines."""
 
 import numpy as np
-import pytest
 
 from repro.core.carve import (
     grow_and_carve,
     grow_and_carve_covering,
     grow_and_carve_packing,
 )
-from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph, path_graph
+from repro.graphs import cycle_graph, erdos_renyi_connected, path_graph
 from repro.ilp import (
     max_independent_set_ilp,
     min_dominating_set_ilp,
-    solve_covering_exact,
 )
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CoveringParams, chang_li_covering, solve_covering
+from repro.core import solve_covering
 from repro.graphs import (
     caterpillar,
     cycle_graph,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import LddParams, chang_li_ldd, low_diameter_decomposition
 from repro.core.ldd import LddTrace
-from repro.decomp.quality import run_ldd_trials, summarize_decomposition
+from repro.decomp.quality import run_ldd_trials
 from repro.graphs import (
     caterpillar,
     cycle_graph,

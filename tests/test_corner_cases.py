@@ -1,6 +1,5 @@
 """Corner-case coverage across modules: the paths regressions hide in."""
 
-import numpy as np
 import pytest
 
 from repro.core import solve_covering, solve_packing

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +12,6 @@ from repro.decomp import (
     elkin_neiman_message_ldd,
     sample_shifts,
 )
-from repro.decomp.quality import summarize_decomposition
 from repro.graphs import (
     cycle_graph,
     erdos_renyi_connected,

@@ -15,7 +15,6 @@ from repro.decomp import (
     verify_edge_coverage,
 )
 from repro.graphs import (
-    Hypergraph,
     cycle_graph,
     erdos_renyi_connected,
     grid_graph,

@@ -1,6 +1,5 @@
 """Tests for the decomposition-quality measurement helpers."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.decomp.shifts import (
-    PROPAGATION_CUTOFF,
     en_is_deleted,
     rounds_for_flood,
     sample_shifts,
@@ -14,7 +13,7 @@ from repro.decomp.shifts import (
     shifted_flood,
     within_one_sources,
 )
-from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.graphs import cycle_graph, path_graph
 
 
 class TestSampling:

@@ -1,0 +1,245 @@
+"""Tests for the nightly trend follow-ups: per-scenario/metric
+tolerance overrides, persistence detection over flag series, and the
+open-or-update-never-duplicate GitHub issue automation (gh calls
+behind an injected runner / dry-run flag)."""
+
+import json
+
+import pytest
+
+from repro.exp import compute_trend, discover_snapshots, persistent_regressions
+from repro.exp.alerts import (
+    ISSUE_MARKER,
+    ISSUE_TITLE,
+    build_issue_body,
+    sync_regression_issue,
+)
+from repro.exp.cli import _parse_tolerances, main as cli_main
+from repro.exp.trend import TREND_TOLERANCES, resolve_tolerance
+
+from test_exp_trend import _bench_blob, _write_snapshot
+
+
+def _ratio_snapshots(tmp_path, means, scenario="demo"):
+    """One snapshot per mean value of the `ratio` metric, dated in order."""
+    for day, mean in enumerate(means, start=1):
+        _write_snapshot(
+            tmp_path,
+            f"2026-07-{day:02d}",
+            {scenario: _bench_blob(scenario, [({"eps": 0.3}, {"ratio": mean})])},
+        )
+    return discover_snapshots([tmp_path])
+
+
+class TestToleranceOverrides:
+    def test_precedence_cli_over_table_over_global(self, monkeypatch):
+        monkeypatch.setitem(TREND_TOLERANCES, "demo:ratio", 0.5)
+        assert resolve_tolerance("demo", "ratio", 0.2) == 0.5
+        assert (
+            resolve_tolerance("demo", "ratio", 0.2, {"demo:ratio": 0.9}) == 0.9
+        )
+        assert resolve_tolerance("demo", "other", 0.2) == 0.2
+        assert resolve_tolerance("other", "ratio", 0.2) == 0.2
+
+    def test_override_unflags_one_pair_only(self, tmp_path):
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5])
+        flagged = compute_trend(snapshots, tolerance=0.2)
+        assert [r["metric"] for r in flagged["regressions"]] == ["ratio"]
+        relaxed = compute_trend(
+            snapshots, tolerance=0.2, overrides={"demo:ratio": 0.6}
+        )
+        assert relaxed["regressions"] == []
+        entry = relaxed["scenarios"]["demo"]["points"][0]["metrics"]["ratio"]
+        assert entry["tolerance"] == 0.6
+
+    def test_table_entry_applies_without_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(TREND_TOLERANCES, "demo:ratio", 0.6)
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5])
+        assert compute_trend(snapshots, tolerance=0.2)["regressions"] == []
+
+    def test_negative_override_rejected(self, tmp_path):
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5])
+        with pytest.raises(ValueError):
+            compute_trend(snapshots, overrides={"demo:ratio": -0.1})
+
+    def test_cli_parse_tolerances(self):
+        glob, overrides = _parse_tolerances(["0.3", "demo:ratio=0.15"])
+        assert glob == 0.3
+        assert overrides == {"demo:ratio": 0.15}
+        assert _parse_tolerances(None) == (0.2, {})
+        with pytest.raises(SystemExit):
+            _parse_tolerances(["bogus"])
+        with pytest.raises(SystemExit):
+            _parse_tolerances(["noscenario=0.5"])
+        with pytest.raises(SystemExit):
+            _parse_tolerances(["demo:ratio=abc"])
+
+    def test_cli_override_end_to_end(self, tmp_path, capsys):
+        _ratio_snapshots(tmp_path / "snaps", [1.0, 0.5])
+        out = tmp_path / "TREND.json"
+        rc = cli_main(
+            [
+                "trend",
+                str(tmp_path / "snaps"),
+                "--tolerance",
+                "0.2",
+                "--tolerance",
+                "demo:ratio=0.6",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert json.loads(out.read_text())["regressions"] == []
+
+
+class TestPersistence:
+    def test_three_night_flag_is_persistent(self, tmp_path):
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5, 0.5, 0.5])
+        trend = compute_trend(snapshots, tolerance=0.2)
+        flags = persistent_regressions(trend, min_snapshots=3)
+        assert len(flags) == 1
+        assert flags[0]["metric"] == "ratio"
+        assert flags[0]["persisted_snapshots"] == 3
+
+    def test_fresh_flag_is_not_persistent(self, tmp_path):
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 1.0, 1.0, 0.5])
+        trend = compute_trend(snapshots, tolerance=0.2)
+        assert trend["regressions"]  # flagged on the latest night...
+        assert persistent_regressions(trend, min_snapshots=3) == []
+
+    def test_recovered_then_reflagged_run_restarts(self, tmp_path):
+        # Out of band, back in band, out again twice: trailing run is 2.
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5, 1.0, 0.5, 0.5])
+        trend = compute_trend(snapshots, tolerance=0.2)
+        assert persistent_regressions(trend, min_snapshots=3) == []
+        assert persistent_regressions(trend, min_snapshots=2)[0][
+            "persisted_snapshots"
+        ] == 2
+
+    def test_missing_snapshot_breaks_the_run(self, tmp_path):
+        # The metric vanishes on night 3 and returns flagged: run = 2.
+        for day, metrics in enumerate(
+            [{"ratio": 1.0}, {"ratio": 0.5}, {"other": 1.0}, {"ratio": 0.5},
+             {"ratio": 0.5}],
+            start=1,
+        ):
+            _write_snapshot(
+                tmp_path,
+                f"2026-07-{day:02d}",
+                {"demo": _bench_blob("demo", [({"eps": 0.3}, metrics)])},
+            )
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.2)
+        assert persistent_regressions(trend, min_snapshots=3) == []
+
+    def test_min_snapshots_validated(self, tmp_path):
+        snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5])
+        trend = compute_trend(snapshots)
+        with pytest.raises(ValueError):
+            persistent_regressions(trend, min_snapshots=0)
+
+
+class _GhRecorder:
+    """Fake gh runner: records calls, scripts `issue list` output."""
+
+    def __init__(self, open_issues=()):
+        self.calls = []
+        self.open_issues = list(open_issues)
+
+    def __call__(self, args):
+        self.calls.append(list(args))
+        if args[:2] == ["issue", "list"]:
+            return json.dumps(self.open_issues)
+        if args[:2] == ["issue", "create"]:
+            self.open_issues.append(
+                {"number": 41, "title": args[args.index("--title") + 1]}
+            )
+            return "https://example.invalid/issues/41\n"
+        return ""
+
+    def bodies(self, verb):
+        return [
+            call[call.index("--body") + 1]
+            for call in self.calls
+            if call[:2] == ["issue", verb]
+        ]
+
+
+@pytest.fixture
+def persistent_trend(tmp_path):
+    snapshots = _ratio_snapshots(tmp_path, [1.0, 0.5, 0.5, 0.5])
+    return compute_trend(snapshots, tolerance=0.2)
+
+
+class TestIssueSync:
+    def test_no_persistent_flags_touches_nothing(self, tmp_path):
+        trend = compute_trend(_ratio_snapshots(tmp_path, [1.0, 1.0, 1.0]))
+        gh = _GhRecorder()
+        outcome = sync_regression_issue(trend, gh=gh)
+        assert outcome == {"action": "none", "flags": 0}
+        assert gh.calls == []
+
+    def test_first_sync_creates_with_marker_and_series(self, persistent_trend):
+        gh = _GhRecorder()
+        outcome = sync_regression_issue(persistent_trend, gh=gh)
+        assert outcome["action"] == "created"
+        (body,) = gh.bodies("create")
+        assert ISSUE_MARKER in body
+        assert "demo" in body and "ratio" in body
+        assert len(gh.bodies("edit")) == 0
+
+    def test_simulated_three_nights_update_exactly_one_issue(
+        self, persistent_trend
+    ):
+        # Night A creates; night B (issue now open) must produce exactly
+        # one body update on the same issue — never a second issue.
+        gh = _GhRecorder()
+        sync_regression_issue(persistent_trend, gh=gh)
+        outcome = sync_regression_issue(persistent_trend, gh=gh)
+        assert outcome["action"] == "updated"
+        assert outcome["issue"] == 41
+        assert len(gh.bodies("create")) == 1
+        assert len(gh.bodies("edit")) == 1
+        edit_call = [c for c in gh.calls if c[:2] == ["issue", "edit"]][0]
+        assert edit_call[2] == "41"
+
+    def test_manual_duplicate_updates_the_original(self, persistent_trend):
+        gh = _GhRecorder(
+            open_issues=[
+                {"number": 7, "title": ISSUE_TITLE},
+                {"number": 9, "title": ISSUE_TITLE},
+                {"number": 8, "title": "unrelated"},
+            ]
+        )
+        outcome = sync_regression_issue(persistent_trend, gh=gh)
+        assert outcome["action"] == "updated"
+        assert outcome["issue"] == 7
+
+    def test_dry_run_never_calls_gh(self, persistent_trend):
+        gh = _GhRecorder()
+        outcome = sync_regression_issue(persistent_trend, dry_run=True, gh=gh)
+        assert outcome["action"] == "would-sync"
+        assert ISSUE_MARKER in outcome["body"]
+        assert gh.calls == []
+
+    def test_body_lists_every_persistent_flag(self, persistent_trend):
+        flags = persistent_regressions(persistent_trend, 3)
+        body = build_issue_body(flags, persistent_trend["snapshots"], 3)
+        assert body.count("| demo |") == len(flags) == 1
+        assert "2026-07-04" in body  # latest snapshot named
+
+    def test_cli_issue_dry_run(self, tmp_path, capsys):
+        _ratio_snapshots(tmp_path / "snaps", [1.0, 0.5, 0.5, 0.5])
+        rc = cli_main(
+            [
+                "trend",
+                str(tmp_path / "snaps"),
+                "--out",
+                str(tmp_path / "TREND.json"),
+                "--issue-dry-run",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "issue sync: would-sync" in captured
+        assert ISSUE_MARKER in captured

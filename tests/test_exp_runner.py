@@ -264,3 +264,85 @@ class TestRunResultHelpers:
         assert point["metrics"]["draw"]["min"] <= point["metrics"]["draw"]["mean"]
         blob = json.dumps(agg)  # strict-JSON serializable
         assert "draw" in blob
+
+
+@_register_once(
+    "test-kernel-pref",
+    description="records the kernel-worker env pin and executing pid",
+    grid={"a": (1,)},
+    trials=3,
+    prefer_kernel_parallelism=True,
+)
+def _kernel_pref(params, ctx):
+    import os
+
+    return {
+        "kernel_env": os.environ.get("REPRO_KERNEL_WORKERS", ""),
+        "pid": os.getpid(),
+        "draw": int(ctx.rng().integers(0, 2**31)),
+    }
+
+
+class TestParallelismCoordination:
+    """`coordinate_parallelism` splits one budget between trial- and
+    kernel-sharding so `trials x kernel_workers` never oversubscribes."""
+
+    @pytest.mark.parametrize(
+        "workers,prefer,kernel,expected",
+        [
+            (4, False, None, (4, 1)),   # normal: shard trials, serial kernels
+            (4, True, None, (0, 4)),    # scale: inline trials, 4-way kernels
+            (2, True, None, (0, 2)),
+            (1, False, None, (0, 1)),   # one lane: inline, no pool spin-up
+            (0, False, None, (0, 1)),   # explicit inline
+            (0, True, None, (0, 1)),
+            (4, False, 2, (2, 2)),      # explicit split
+            (5, False, 2, (2, 2)),
+            (3, False, 2, (0, 2)),      # remainder lane folds into inline
+            (4, True, 1, (4, 1)),       # explicit serial kernels win
+            (1, False, 4, (0, 1)),      # kernel ask clamped to the budget
+        ],
+    )
+    def test_split(self, workers, prefer, kernel, expected):
+        from repro.exp import coordinate_parallelism
+
+        split = coordinate_parallelism(workers, prefer, kernel)
+        assert split == expected
+        trial_workers, kernel_workers = split
+        assert max(trial_workers, 1) * kernel_workers <= max(workers, 1)
+
+    def test_prefer_runs_trials_serially_with_kernel_workers_set(self):
+        result = run_scenario(get("test-kernel-pref"), workers=4, trials=3)
+        assert result.statuses == {"ok": 3}
+        # Inline execution: every trial ran in this process, one at a
+        # time, with the whole budget pinned for the kernels.
+        import os
+
+        assert {row["metrics"]["pid"] for row in result.rows} == {os.getpid()}
+        assert [row["metrics"]["kernel_env"] for row in result.rows] == ["4"] * 3
+
+    def test_normal_scenarios_pin_kernels_serial(self):
+        result = run_scenario(get("test-kernel-pref"), workers=4, trials=2,
+                              kernel_workers=1)
+        assert [row["metrics"]["kernel_env"] for row in result.rows] == ["1"] * 2
+
+    def test_rows_bit_identical_across_coordination_modes(self, tmp_path):
+        draws = {}
+        for key, kwargs in {
+            "inline": dict(workers=0),
+            "prefer": dict(workers=2),
+            "explicit": dict(workers=2, kernel_workers=1),
+        }.items():
+            result = run_scenario(get("test-kernel-pref"), trials=3, **kwargs)
+            draws[key] = [row["metrics"]["draw"] for row in result.rows]
+        assert draws["inline"] == draws["prefer"] == draws["explicit"]
+
+    def test_kernel_env_restored_after_trial(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "7")
+        run_scenario(get("test-kernel-pref"), workers=2, trials=1)
+        assert os.environ["REPRO_KERNEL_WORKERS"] == "7"
+        monkeypatch.delenv("REPRO_KERNEL_WORKERS")
+        run_scenario(get("test-kernel-pref"), workers=2, trials=1)
+        assert "REPRO_KERNEL_WORKERS" not in os.environ

@@ -1,6 +1,5 @@
 """Unit and property tests for the Graph data structure."""
 
-import math
 
 import networkx as nx
 import numpy as np

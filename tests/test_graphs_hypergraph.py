@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs import Graph, Hypergraph, cycle_graph, path_graph
+from repro.graphs import Hypergraph, cycle_graph, path_graph
 
 
 class TestConstruction:

@@ -1,11 +1,9 @@
 """Tests for solution and decomposition metrics."""
 
-import math
 
 import pytest
 
 from repro.graphs import (
-    Graph,
     cycle_graph,
     decomposition_stats,
     grid_graph,

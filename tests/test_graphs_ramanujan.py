@@ -1,6 +1,5 @@
 """Tests for the LPS Ramanujan construction and number theory helpers."""
 
-import math
 
 import pytest
 

@@ -1,9 +1,7 @@
 """Tests for the reduction transforms (Theorems B.3, B.5, B.7)."""
 
-import pytest
 
 from repro.graphs import (
-    Graph,
     attach_path,
     complete_graph,
     cycle_graph,
@@ -13,7 +11,7 @@ from repro.graphs import (
     petersen_graph,
     subdivide,
 )
-from repro.graphs.metrics import cut_size, is_independent_set, is_vertex_cover
+from repro.graphs.metrics import is_independent_set, is_vertex_cover
 from repro.ilp import (
     max_independent_set_ilp,
     min_dominating_set_ilp,

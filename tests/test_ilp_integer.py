@@ -7,8 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import solve_covering, solve_packing
-from repro.ilp import Constraint, milp_solve, solve_covering_exact, solve_packing_exact
+from repro.core import solve_packing
+from repro.ilp import Constraint, solve_covering_exact, solve_packing_exact
 from repro.ilp.integer import (
     _bit_multipliers,
     integer_covering_to_binary,

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core import low_diameter_decomposition, solve_covering, solve_packing
 from repro.decomp import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.graphs import cycle_graph, grid_graph, path_graph, star_graph
 from repro.graphs.metrics import is_independent_set
-from repro.local import audit_congest
 from repro.local.algorithms import (
     bfs_layers_distributed,
     eccentricities_distributed,

@@ -1,6 +1,5 @@
 """Tests for the Appendix B lower-bound machinery."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.carve import grow_and_carve, grow_and_carve_packing
-from repro.graphs import Graph, erdos_renyi_connected, subdivide
+from repro.graphs import erdos_renyi_connected, subdivide
 from repro.ilp import (
     max_independent_set_ilp,
     solve_packing_exact,
