@@ -58,7 +58,10 @@ class CarveOutcome:
 def _weights_of(layer: Iterable[int], weights: Optional[Sequence[float]]) -> float:
     if weights is None:
         return float(len(set(layer)))
-    return sum(weights[v] for v in set(layer))
+    # Sorted so the float accumulation order is pinned (set iteration
+    # order is an implementation detail; float addition is not
+    # associative, so the order is part of the reproducibility contract).
+    return sum(weights[v] for v in sorted(set(layer)))
 
 
 def grow_and_carve(

@@ -223,7 +223,9 @@ def low_diameter_decomposition(
 def _measure(vertices: Set[int], weights: Optional[Sequence[float]]) -> float:
     if weights is None:
         return float(len(vertices))
-    return sum(weights[v] for v in vertices)
+    # Sorted: float summation order is part of the reproducibility
+    # contract (set iteration order is an implementation detail).
+    return sum(weights[v] for v in sorted(vertices))
 
 
 def _apply_carves(

@@ -36,7 +36,11 @@ class NetworkDecomposition:
         return max(self.colors, default=0)
 
     def clusters_of_color(self, color: int) -> List[Set[int]]:
-        return [c for c, col in zip(self.clusters, self.colors) if col == color]
+        return [
+            c
+            for c, col in zip(self.clusters, self.colors, strict=True)
+            if col == color
+        ]
 
     def max_weak_diameter(self, graph: Graph) -> float:
         return max(

@@ -62,7 +62,7 @@ def _within_one_members_csr(
     best = value.max(axis=0)
     qualify = value >= best[None, :] - 1.0
     members: Dict[int, Set[int]] = {}
-    for ui, vi in zip(*np.nonzero(qualify)):
+    for ui, vi in zip(*np.nonzero(qualify), strict=True):
         members.setdefault(int(src[ui]), set()).add(int(src[vi]))
     return members
 

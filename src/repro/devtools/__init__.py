@@ -1,0 +1,6 @@
+"""Developer tooling for the repro codebase.
+
+Nothing in here is imported by the library itself — these modules are
+run explicitly (``python -m repro.devtools.lint``) by developers and
+CI.  They may import the library; the library must never import them.
+"""

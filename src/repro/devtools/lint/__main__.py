@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro.devtools.lint``."""
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # stdout piped into a pager/head that closed early
+    code = 0
+sys.exit(code)

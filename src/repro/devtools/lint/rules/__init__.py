@@ -1,0 +1,8 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.devtools.lint.rules import (  # noqa: F401  (registration)
+    determinism,
+    ordering,
+    parity,
+    sharedmem,
+)

@@ -1,0 +1,320 @@
+"""RPL001-RPL004: seeded-randomness invariants.
+
+Scope: the algorithm packages (``repro.{core,decomp,graphs,ilp,local}``)
+— the code whose outputs the bit-identity suites replay.  Every random
+draw there must flow from an explicit seed / ``SeedSequence`` parameter
+(``repro.util.rng`` is the sanctioned boundary and lives outside the
+scope, as does ``repro.exp``, which derives per-trial sequences).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+#: ``numpy.random`` attributes that are part of the seeded API; every
+#: other attribute is the legacy global-state interface.
+SEEDED_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_BIT_GENERATORS = frozenset({"PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"})
+
+_TIME_FUNCS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"})
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound to the ``numpy`` module in this file."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _numpy_random_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound to the ``numpy.random`` module itself."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname:
+                    aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _numpy_random_attr(node: ast.AST, np_names: Set[str], npr_names: Set[str]):
+    """The ``X`` of an ``np.random.X`` / ``npr.X`` attribute access."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in np_names
+    ):
+        return node.attr
+    if isinstance(value, ast.Name) and value.id in npr_names:
+        return node.attr
+    return None
+
+
+@register
+class StdlibRandomRule(Rule):
+    code = "RPL001"
+    name = "stdlib-random"
+    summary = (
+        "stdlib `random` is banned in the algorithm packages; thread a "
+        "seeded numpy Generator (repro.util.rng) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_determinism_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "import of stdlib `random` (process-global, "
+                            "unseeded state); derive randomness from a "
+                            "seed/SeedSequence parameter via repro.util.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module or ""
+                ).startswith("random."):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "import from stdlib `random`; use a seeded numpy "
+                        "Generator threaded through the call tree instead",
+                    )
+
+
+@register
+class NumpyGlobalStateRule(Rule):
+    code = "RPL002"
+    name = "numpy-global-rng"
+    summary = (
+        "numpy's legacy global RNG (np.random.seed / np.random.<dist>) "
+        "is banned; use an explicit Generator"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_determinism_scope:
+            return
+        np_names = _numpy_aliases(ctx.tree)
+        npr_names = _numpy_random_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            attr = _numpy_random_attr(node, np_names, npr_names)
+            if attr is not None and attr not in SEEDED_NUMPY_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"np.random.{attr} uses the process-global legacy RNG; "
+                    "draw from an explicit seeded Generator instead",
+                )
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in SEEDED_NUMPY_RANDOM:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"numpy.random.{alias.name} is the legacy "
+                            "global-state interface; import the seeded API "
+                            "(default_rng/SeedSequence) instead",
+                        )
+
+
+@register
+class UnseededGeneratorRule(Rule):
+    code = "RPL003"
+    name = "unseeded-generator"
+    summary = (
+        "np.random.default_rng()/Generator(...) must be fed from a "
+        "seed or SeedSequence parameter, never constructed bare"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_determinism_scope:
+            return
+        np_names = _numpy_aliases(ctx.tree)
+        npr_names = _numpy_random_aliases(ctx.tree)
+        imported = _seeded_imports(ctx.tree)
+
+        def is_api(call: ast.Call, name: str) -> bool:
+            attr = _numpy_random_attr(call.func, np_names, npr_names)
+            if attr == name:
+                return True
+            return (
+                isinstance(call.func, ast.Name)
+                and call.func.id in imported.get(name, ())
+            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if is_api(node, "default_rng"):
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "bare np.random.default_rng() draws OS entropy — "
+                        "not replayable; pass the seed/SeedSequence the "
+                        "caller threads in",
+                    )
+                elif (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "np.random.default_rng(None) is the unseeded "
+                        "constructor; pass a derived seed/SeedSequence",
+                    )
+            elif is_api(node, "Generator"):
+                if not node.args:
+                    yield self.violation(
+                        ctx, node, "np.random.Generator() without a bit generator"
+                    )
+                else:
+                    first = node.args[0]
+                    if (
+                        isinstance(first, ast.Call)
+                        and not first.args
+                        and not first.keywords
+                        and _is_bit_generator(first.func, np_names, npr_names, imported)
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "Generator over an unseeded bit generator draws "
+                            "OS entropy; seed it from a SeedSequence",
+                        )
+
+
+def _seeded_imports(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Local names of `from numpy.random import X [as y]` bindings."""
+    out: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                out.setdefault(alias.name, set()).add(alias.asname or alias.name)
+    return out
+
+
+def _is_bit_generator(func, np_names, npr_names, imported) -> bool:
+    attr = _numpy_random_attr(func, np_names, npr_names)
+    if attr in _BIT_GENERATORS:
+        return True
+    if isinstance(func, ast.Name):
+        return any(func.id in imported.get(name, ()) for name in _BIT_GENERATORS)
+    return False
+
+
+@register
+class EntropySeedRule(Rule):
+    code = "RPL004"
+    name = "entropy-derived-seed"
+    summary = (
+        "seeds must not derive from wall clocks or OS entropy "
+        "(time.*, os.urandom, uuid, secrets)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_determinism_scope:
+            return
+        # os.urandom / secrets.* / uuid.uuid*: no legitimate use in the
+        # algorithm packages at all — flag every call.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain in {("os", "urandom"), ("uuid", "uuid1"), ("uuid", "uuid4")} or (
+                    chain is not None and chain[0] == "secrets"
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{'.'.join(chain)}() is OS entropy — not replayable "
+                        "from a recorded seed",
+                    )
+        # time.* calls are legitimate for *timing*; they are flagged
+        # only when feeding something seed-shaped.
+        for subtree in _seed_contexts(ctx.tree):
+            for node in ast.walk(subtree):
+                if isinstance(node, ast.Call):
+                    chain = _attr_chain(node.func)
+                    if chain is not None and chain[0] == "time" and chain[-1] in _TIME_FUNCS:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"seed derived from {'.'.join(chain)}(): wall-clock "
+                            "seeds make runs unreplayable",
+                        )
+
+
+def _attr_chain(func: ast.AST):
+    """``("os", "urandom")`` for ``os.urandom`` — module-call chains."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    return None
+
+
+_SEED_CALLEES = frozenset({"default_rng", "SeedSequence", "Generator", "seed"})
+
+
+def _seed_contexts(tree: ast.Module) -> Iterable:
+    """Subtrees whose value feeds a seed.
+
+    Covers: arguments of RNG constructors (or any ``*.seed(...)``
+    call), values of keywords named like a seed, and right-hand sides
+    of assignments to names containing "seed".
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name in _SEED_CALLEES:
+                yield from node.args
+            for kw in node.keywords:
+                if kw.arg and "seed" in kw.arg.lower():
+                    yield kw.value
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets: List[ast.AST]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                targets = [node.target]
+            seedish = any(
+                isinstance(t, ast.Name) and "seed" in t.id.lower() for t in targets
+            )
+            if seedish and node.value is not None:
+                yield node.value

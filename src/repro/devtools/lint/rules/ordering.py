@@ -1,0 +1,227 @@
+"""RPL301: unordered iteration feeding ordered results.
+
+``set`` iteration order is an implementation detail (and
+``dict.keys()`` order is whatever insertion order happened to be); a
+partition, cluster list or label map built by iterating one is only
+reproducible by accident.  The rule flags ``for``/comprehension
+iteration over an unordered iterable when the loop's output is
+order-sensitive and escapes the function:
+
+* the body mutates a list/dict-shaped name that is returned,
+* the body ``yield``s, or
+* a non-set comprehension over the iterable sits in a ``return``.
+
+Wrapping the iterable in ``sorted(...)`` (the repo-wide idiom — see
+``Graph.weak_diameter``'s ``sorted(set(subset))``) silences it; pure
+reductions (``sum``/``min``/set unions) are not flagged because their
+results do not depend on iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"difference", "union", "intersection", "symmetric_difference", "copy"}
+)
+_LISTDICT_CALLS = frozenset(
+    {"list", "dict", "defaultdict", "OrderedDict", "Counter"}
+)
+_MUTATORS = frozenset(
+    {"append", "extend", "insert", "setdefault", "update", "__setitem__"}
+)
+
+
+def _annotation_kind(annotation: Optional[ast.AST]) -> Optional[str]:
+    if annotation is None:
+        return None
+    text = ast.unparse(annotation)
+    head = text.split("[", 1)[0].strip()
+    if head in {"Set", "FrozenSet", "set", "frozenset", "AbstractSet", "MutableSet"}:
+        return "set"
+    if head in {"List", "list", "Dict", "dict", "MutableMapping", "DefaultDict", "OrderedDict", "Mapping", "Sequence", "MutableSequence"}:
+        return "listdict"
+    return None
+
+
+class _FunctionModel:
+    """Set-shaped and list/dict-shaped names visible in one function."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.set_names: Set[str] = set()
+        self.listdict_names: Set[str] = set()
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            kind = _annotation_kind(arg.annotation)
+            if kind == "set":
+                self.set_names.add(arg.arg)
+            elif kind == "listdict":
+                self.listdict_names.add(arg.arg)
+        # Two passes so `a = set(...); b = a | other` resolves.
+        for _ in range(2):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, node.targets
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value, targets = node.value, [node.target]
+                    kind = _annotation_kind(node.annotation)
+                    for t in [node.target]:
+                        if isinstance(t, ast.Name):
+                            if kind == "set":
+                                self.set_names.add(t.id)
+                            elif kind == "listdict":
+                                self.listdict_names.add(t.id)
+                else:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if self._is_setish(value):
+                        self.set_names.add(target.id)
+                    elif self._is_listdictish(value):
+                        self.listdict_names.add(target.id)
+
+    def _is_setish(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CALLS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.set_names
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setish(node.left) or self._is_setish(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def _is_listdictish(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.ListComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _LISTDICT_CALLS:
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self.listdict_names
+        return False
+
+    def unordered_iter(self, node: ast.AST) -> bool:
+        """Does iterating ``node`` expose unordered iteration order?"""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "sorted":
+                    return False
+                if func.id in {"list", "tuple", "iter", "reversed"} and node.args:
+                    return self.unordered_iter(node.args[0])
+                if func.id in _SET_CALLS:
+                    return True
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                return True
+        return self._is_setish(node)
+
+
+def _returned_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _mutated_names(body) -> Set[str]:
+    """Names mutated order-sensitively inside a loop body."""
+    names: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and isinstance(func.value, ast.Name)
+                ):
+                    names.add(func.value.id)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        names.add(target.value.id)
+    return names
+
+
+@register
+class OrderedIterationRule(Rule):
+    code = "RPL301"
+    name = "unordered-iteration"
+    summary = (
+        "iteration over set/dict.keys() feeding a returned ordered "
+        "structure must go through sorted(...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.is_library:
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            model = _FunctionModel(func)
+            returned = _returned_names(func)
+            yield from self._check_function(ctx, func, model, returned)
+
+    def _check_function(self, ctx, func, model, returned) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.For) and model.unordered_iter(node.iter):
+                mutated = _mutated_names(node.body)
+                sensitive = {
+                    name
+                    for name in mutated
+                    if name in model.listdict_names and name in returned
+                }
+                if sensitive:
+                    yield self.violation(
+                        ctx,
+                        node.iter,
+                        "loop over an unordered set/dict.keys() iterable "
+                        f"builds returned structure(s) {sorted(sensitive)}; "
+                        "iterate sorted(...) to pin the order",
+                    )
+                elif any(isinstance(sub, ast.Yield) for sub in ast.walk(node)):
+                    yield self.violation(
+                        ctx,
+                        node.iter,
+                        "yield inside a loop over an unordered iterable "
+                        "leaks set iteration order to the caller; iterate "
+                        "sorted(...) instead",
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for comp in ast.walk(node.value):
+                    if isinstance(comp, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                        if model.unordered_iter(comp.generators[0].iter):
+                            yield self.violation(
+                                ctx,
+                                comp,
+                                "returned comprehension iterates an unordered "
+                                "set/dict.keys() iterable; wrap it in "
+                                "sorted(...) to pin the output order",
+                            )

@@ -1,0 +1,101 @@
+"""RPL101: shared-memory segment lifecycle.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment is a kernel
+object: a creation whose ``close()``/``unlink()`` is not reachable on
+*every* exit path leaks ``/dev/shm`` space until process exit (and,
+for created-not-attached segments, until reboot).  The compliant
+idioms — both used by :mod:`repro.graphs.parallel` — are:
+
+* a ``with`` statement over the segment, or
+* creation inside a ``try`` whose ``finally`` (or exception handlers,
+  for ownership-transfer constructors that clean up on failure and
+  hand the segment to a long-lived owner otherwise) calls ``close``
+  or ``unlink``.
+
+Long-lived owners must still be closed somewhere (``weakref.finalize``
+in ``parallel.shared_spec``); the rule checks the *creation path*,
+which is where review has caught real leaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+_CLEANUP_NAMES = frozenset({"close", "unlink", "shutdown", "__exit__"})
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _calls_cleanup(nodes) -> bool:
+    for body_node in nodes:
+        for sub in ast.walk(body_node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Attribute) and func.attr in _CLEANUP_NAMES:
+                    return True
+                if isinstance(func, ast.Name) and func.id in _CLEANUP_NAMES:
+                    return True
+    return False
+
+
+def _within(node: ast.AST, candidates) -> bool:
+    for candidate in candidates:
+        for sub in ast.walk(candidate):
+            if sub is node:
+                return True
+    return False
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    code = "RPL101"
+    name = "shared-memory-lifecycle"
+    summary = (
+        "SharedMemory(...) must be context-managed or created inside a "
+        "try whose finally/handlers reach close()/unlink()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_shared_memory_call(node)):
+                continue
+            if self._compliant(ctx, node):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                "SharedMemory segment created without a context manager "
+                "or try-block cleanup (close/unlink) on the creation "
+                "path; a failure here leaks the segment",
+            )
+
+    def _compliant(self, ctx: FileContext, node: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.With):
+                if any(
+                    _within(node, [item.context_expr])
+                    for item in ancestor.items
+                ):
+                    return True
+            if isinstance(ancestor, (ast.Try,)):
+                if not _within(node, ancestor.body):
+                    continue  # creation in a handler/finally: keep looking
+                if _calls_cleanup(ancestor.finalbody):
+                    return True
+                if ancestor.handlers and _calls_cleanup(
+                    [h for handler in ancestor.handlers for h in handler.body]
+                ):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # lifecycle must be handled within the function
+        return False

@@ -209,7 +209,7 @@ def _parse_tolerances(items: Optional[Sequence[str]]):
                 raise SystemExit(
                     f"--tolerance expects a number or scenario:metric=X, "
                     f"got {item!r}"
-                )
+                ) from None
             continue
         if ":" not in key:
             raise SystemExit(
@@ -220,7 +220,7 @@ def _parse_tolerances(items: Optional[Sequence[str]]):
         except ValueError:
             raise SystemExit(
                 f"--tolerance {key} expects a numeric value, got {value!r}"
-            )
+            ) from None
     return global_tolerance, overrides
 
 

@@ -121,7 +121,7 @@ def render_table(agg: Dict[str, Any], title: Optional[str] = None) -> Table:
             if name not in metric_names:
                 metric_names.append(name)
     table = Table(
-        param_names + ["trials"] + [f"{m} (mean)" for m in metric_names],
+        [*param_names, "trials", *(f"{m} (mean)" for m in metric_names)],
         title=title or f"{agg['scenario']} — {agg['totals']['rows']} trial row(s)",
     )
     for point in agg["points"]:

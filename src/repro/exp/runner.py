@@ -314,7 +314,9 @@ def run_scenario(
         return not (retry_failed and row["status"] != "ok")
 
     pending = [
-        spec for spec, key in zip(specs, spec_keys) if not is_cached(key)
+        spec
+        for spec, key in zip(specs, spec_keys, strict=True)
+        if not is_cached(key)
     ]
     say = progress or (lambda message: None)
     cached_failures = 0

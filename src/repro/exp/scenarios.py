@@ -26,6 +26,7 @@ everything registered here.
 
 from __future__ import annotations
 
+import itertools
 import math
 import re
 import time
@@ -306,7 +307,7 @@ def _f_pockets(rng, num_pockets, pocket, bridge):
                 edges.append((offset + i, offset + j))
         anchors.append(offset)
         offset += pocket
-    for a, b in zip(anchors, anchors[1:]):
+    for a, b in itertools.pairwise(anchors):
         prev = a
         for _ in range(bridge):
             edges.append((prev, offset))
@@ -774,7 +775,7 @@ def _kernel_speed_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, 
     for backend in ("python", "csr"):
         timings[f"ldd_{backend}_s"] = best_of(
             2 if backend == "python" else 3,
-            lambda: low_diameter_decomposition(
+            lambda backend=backend: low_diameter_decomposition(
                 grid_graph(rows, cols), eps=eps, seed=0, backend=backend
             ),
         )

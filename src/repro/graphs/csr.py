@@ -516,7 +516,7 @@ class CsrGraph:
                 self, "ball", chunks, (radius, w, mask), workers
             )
             lo = 0
-            for s_chunk, (s_sizes, s_depths) in zip(chunks, results):
+            for s_chunk, (s_sizes, s_depths) in zip(chunks, results, strict=True):
                 hi = lo + len(s_chunk)
                 sizes[lo:hi] = s_sizes
                 depths[lo:hi] = s_depths
@@ -696,7 +696,7 @@ class CsrGraph:
                 (radius, mask),
                 workers,
             )
-            for (lo, s_chunk), block in zip(chunks, results):
+            for (lo, s_chunk), block in zip(chunks, results, strict=True):
                 dist[lo : lo + len(s_chunk)] = block
             return dist
         for lo, s_chunk in chunks:
@@ -891,7 +891,7 @@ class CsrGraph:
             results = _parallel.run_chunk_tasks(
                 self, "ecc", ranges, (), workers
             )
-            for (lo, hi), block in zip(ranges, results):
+            for (lo, hi), block in zip(ranges, results, strict=True):
                 ecc[lo:hi] = block
             return ecc
         for lo, hi in ranges:

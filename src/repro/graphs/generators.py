@@ -9,6 +9,7 @@ bounded-degree networks (random regular), sparse random networks
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import List, Optional, Tuple
 
@@ -342,7 +343,7 @@ def _geometric_edges_cells(
             consumed = batch_edges[cuts[-1] - 1] if cuts[-1] else 0
             nxt = int(np.searchsorted(batch_edges, consumed + budget, "left"))
             cuts.append(max(nxt, cuts[-1] + 1))
-        for lo, hi in zip(cuts[:-1], cuts[1:]):
+        for lo, hi in itertools.pairwise(cuts):
             tot = totals[lo:hi]
             grand = int(tot.sum())
             if grand == 0:

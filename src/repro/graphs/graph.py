@@ -468,7 +468,7 @@ class Graph:
         graph = object.__new__(cls)
         graph.n = n
         graph._csr = None
-        edges = list(zip(us.tolist(), vs.tolist()))
+        edges = list(zip(us.tolist(), vs.tolist(), strict=True))
         graph._edges = tuple(edges)
         graph._frozen_edge_set = frozenset(edges)
         if n == 0:

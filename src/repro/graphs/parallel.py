@@ -183,24 +183,35 @@ def _attach(spec: Dict[str, Any]):
     from repro.graphs.csr import CsrGraph
 
     arrays: Dict[str, np.ndarray] = {}
-    shms = []
-    for field, (name, dtype, shape) in spec["arrays"].items():
-        # Attaching registers with the resource tracker too (no
-        # ``track=False`` before 3.13) — harmless here: spawned workers
-        # inherit the parent's tracker process, whose cache is a set,
-        # so the parent's registration stays the single entry and the
-        # parent's unlink is the single removal.
-        shm = shared_memory.SharedMemory(name=name)
-        shms.append(shm)
-        arrays[field] = np.ndarray(
-            tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+    shms: list = []
+    try:
+        for field, (name, dtype, shape) in spec["arrays"].items():
+            # Attaching registers with the resource tracker too (no
+            # ``track=False`` before 3.13) — harmless here: spawned workers
+            # inherit the parent's tracker process, whose cache is a set,
+            # so the parent's registration stays the single entry and the
+            # parent's unlink is the single removal.
+            shm = shared_memory.SharedMemory(name=name)
+            shms.append(shm)
+            arrays[field] = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+            )
+        csr = CsrGraph._from_shared_arrays(
+            spec["n"],
+            arrays["indptr"],
+            arrays["indices"],
+            arrays.get("padded"),
         )
-    csr = CsrGraph._from_shared_arrays(
-        spec["n"],
-        arrays["indptr"],
-        arrays["indices"],
-        arrays.get("padded"),
-    )
+    except BaseException:
+        # A failed attach mid-loop (segment gone after a parent exit,
+        # ENOMEM mapping a view) must not leave the earlier segments
+        # mapped in this worker for the life of the process.
+        for shm in shms:
+            try:
+                shm.close()
+            except OSError:
+                pass
+        raise
     while len(_ATTACHED) >= _ATTACH_CACHE_SIZE:
         _detach(_ATTACHED.popitem(last=False)[1])
     _ATTACHED[token] = (csr, shms)

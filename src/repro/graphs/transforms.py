@@ -103,7 +103,7 @@ def subdivide(graph: Graph, x: int) -> SubdividedGraph:
             continue
         internal = list(range(next_id, next_id + 2 * x))
         next_id += 2 * x
-        path = [u] + internal + [v]
+        path = [u, *internal, v]
         edge_paths[(u, v)] = tuple(path)
         edges.extend((path[i], path[i + 1]) for i in range(len(path) - 1))
     return SubdividedGraph(

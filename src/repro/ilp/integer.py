@@ -80,7 +80,7 @@ class IntegerReduction:
             "one value per original variable required",
         )
         chosen: Set[int] = set()
-        for value, bits in zip(values, self.bit_layout):
+        for value, bits in zip(values, self.bit_layout, strict=True):
             remaining = int(value)
             require(remaining >= 0, "values must be non-negative")
             for idx, mult in sorted(bits, key=lambda b: -b[1]):
@@ -105,7 +105,7 @@ def _expand(
     )
     bit_weights: List[float] = []
     layout: List[List[Tuple[int, int]]] = []
-    for v, (w, s) in enumerate(zip(weights, upper_bounds)):
+    for v, (w, s) in enumerate(zip(weights, upper_bounds, strict=True)):
         require(w >= 0, f"weight of variable {v} must be >= 0")
         bits = []
         for mult in _bit_multipliers(int(s)):

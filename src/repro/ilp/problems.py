@@ -116,7 +116,7 @@ def knapsack_packing_ilp(
     require(all(len(row) == len(weights) for row in sizes), "ragged size matrix")
     require(len(capacities) == len(sizes), "one capacity per row")
     constraints = []
-    for row, cap in zip(sizes, capacities):
+    for row, cap in zip(sizes, capacities, strict=True):
         coeffs = {i: float(c) for i, c in enumerate(row) if c != 0}
         if coeffs:
             constraints.append(Constraint(coeffs, float(cap)))
@@ -202,6 +202,8 @@ def general_covering_ilp(
     """General covering instance from sparse rows (arbitrary A, b >= 0)."""
     require(len(rows) == len(bounds), "one bound per row")
     constraints = [
-        Constraint(dict(row), float(b)) for row, b in zip(rows, bounds) if row
+        Constraint(dict(row), float(b))
+        for row, b in zip(rows, bounds, strict=True)
+        if row
     ]
     return CoveringInstance(list(weights), constraints, name="general-covering")

@@ -209,7 +209,7 @@ def _gather_ball_csr(
     reached = np.nonzero(dist >= 0)[0]
     depth = int(dist[reached].max()) if reached.size else 0
     layers: List[Set[int]] = [set() for _ in range(depth + 1)]
-    for v, d in zip(reached.tolist(), dist[reached].tolist()):
+    for v, d in zip(reached.tolist(), dist[reached].tolist(), strict=True):
         layers[d].add(v)
     if ledger is not None:
         ledger.charge(label, radius, depth)

@@ -50,14 +50,21 @@ class Table:
             for i, cell in enumerate(row):
                 widths[i] = max(widths[i], len(cell))
         sep = "-+-".join("-" * w for w in widths)
-        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        header = " | ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths, strict=True)
+        )
         lines = []
         if self.title:
             lines.append(self.title)
         lines.append(header)
         lines.append(sep)
         for row in self.rows:
-            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            lines.append(
+                " | ".join(
+                    cell.ljust(w)
+                    for cell, w in zip(row, widths, strict=True)
+                )
+            )
         return "\n".join(lines)
 
     def print(self) -> None:

@@ -1,0 +1,132 @@
+"""RPL201/RPL202: backend dispatch and test coverage fixtures."""
+
+import textwrap
+
+from repro.devtools.lint import lint_sources
+
+LIB = "src/repro/decomp/fixture.py"
+
+
+def lint_many(*pairs):
+    return lint_sources(
+        [(path, textwrap.dedent(source)) for path, source in pairs]
+    )
+
+
+def codes(source, path=LIB):
+    return [v.code for v in lint_many((path, source))]
+
+
+class TestBackendDispatch:
+    def test_ignored_parameter_flagged(self):
+        src = """
+            def kernel(graph, backend="csr"):
+                return graph.csr().power(2)
+        """
+        assert "RPL201" in codes(src)
+
+    def test_validation_only_still_flagged(self):
+        """check_backend() validates the value; it is not a dispatch."""
+        src = """
+            from repro.graphs.csr import check_backend
+
+            def kernel(graph, backend="csr"):
+                check_backend(backend)
+                return graph.csr().power(2)
+        """
+        assert "RPL201" in codes(src)
+
+    def test_unknown_arm_flagged(self):
+        src = """
+            def kernel(graph, backend="csr"):
+                if backend == "numpy":
+                    return 1
+                return 2
+        """
+        assert "RPL201" in codes(src)
+
+    def test_two_arm_dispatch_clean(self):
+        src = """
+            def kernel(graph, backend="csr"):
+                if backend == "csr":
+                    return graph.csr().power(2)
+                return graph.power_python(2)
+        """
+        assert codes(src) == []
+
+    def test_negated_dispatch_clean(self):
+        """The Graph.power idiom: `if backend != "python": <csr arm>`."""
+        src = """
+            def kernel(graph, backend="python"):
+                if backend != "python":
+                    return graph.csr().power(2)
+                return graph.power_python(2)
+        """
+        assert codes(src) == []
+
+    def test_forwarding_clean(self):
+        src = """
+            def wrapper(graph, backend="csr"):
+                return inner(graph, backend=backend)
+        """
+        assert codes(src) == []
+
+    def test_out_of_library_exempt(self):
+        src = """
+            def kernel(graph, backend="csr"):
+                return graph.csr().power(2)
+        """
+        assert codes(src, path="benchmarks/fixture.py") == []
+
+
+KERNEL = """
+    def fast_kernel(graph, backend="csr"):
+        if backend == "csr":
+            return graph.csr().power(2)
+        return graph.power_python(2)
+"""
+
+PRIVATE_KERNEL = KERNEL.replace("fast_kernel", "_fast_kernel")
+
+
+class TestBackendTestCoverage:
+    def test_untested_public_kernel_flagged(self):
+        found = lint_many(
+            (LIB, KERNEL),
+            ("tests/test_other.py", "def test_nothing():\n    pass\n"),
+        )
+        assert [v.code for v in found] == ["RPL202"]
+        assert "fast_kernel" in found[0].message
+
+    def test_tested_kernel_clean(self):
+        found = lint_many(
+            (LIB, KERNEL),
+            (
+                "tests/test_kernel.py",
+                "def test_parity():\n    assert fast_kernel(g) == ref\n",
+            ),
+        )
+        assert found == []
+
+    def test_private_kernel_exempt(self):
+        found = lint_many(
+            (LIB, PRIVATE_KERNEL),
+            ("tests/test_other.py", "def test_nothing():\n    pass\n"),
+        )
+        assert found == []
+
+    def test_skipped_without_test_corpus(self):
+        """Single-file runs can't see tests/: the rule stays silent
+        rather than reporting false positives."""
+        assert codes(KERNEL) == []
+
+    def test_real_tree_idiom_substring_not_fooled(self):
+        """The name must appear as a word, not a substring."""
+        found = lint_many(
+            (LIB, KERNEL),
+            (
+                "tests/test_kernel.py",
+                "def test_x():\n    assert unfast_kernelish() == 1\n",
+            ),
+        )
+        assert [v.code for v in found] == ["RPL202"]

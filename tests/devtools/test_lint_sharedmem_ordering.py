@@ -1,0 +1,210 @@
+"""RPL101 (shared-memory lifecycle) and RPL301 (ordered iteration)."""
+
+import textwrap
+
+from repro.devtools.lint import lint_sources
+
+LIB = "src/repro/graphs/fixture.py"
+
+
+def codes(source, path=LIB):
+    return [v.code for v in lint_sources([(path, textwrap.dedent(source))])]
+
+
+class TestSharedMemoryLifecycle:
+    def test_naked_creation_flagged(self):
+        src = """
+            from multiprocessing import shared_memory
+
+            def export(arr):
+                shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                return shm
+        """
+        assert "RPL101" in codes(src)
+
+    def test_flagged_in_tests_too(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def helper():
+                return SharedMemory(create=True, size=8)
+        """
+        assert "RPL101" in codes(src, path="tests/test_fixture.py")
+
+    def test_context_manager_clean(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def read(name):
+                with SharedMemory(name=name) as shm:
+                    return bytes(shm.buf[:4])
+        """
+        assert codes(src) == []
+
+    def test_try_finally_clean(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def roundtrip(payload):
+                try:
+                    shm = SharedMemory(create=True, size=len(payload))
+                    shm.buf[: len(payload)] = payload
+                    return bytes(shm.buf[: len(payload)])
+                finally:
+                    shm.close()
+                    shm.unlink()
+        """
+        assert codes(src) == []
+
+    def test_ownership_transfer_with_failure_cleanup_clean(self):
+        """The repro.graphs.parallel._SharedExport idiom: clean up on
+        failure, hand the segment to a long-lived owner otherwise."""
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Export:
+                def __init__(self, sizes):
+                    self.segments = []
+                    try:
+                        for size in sizes:
+                            self.segments.append(
+                                SharedMemory(create=True, size=size)
+                            )
+                    except BaseException:
+                        self.close()
+                        raise
+
+                def close(self):
+                    for shm in self.segments:
+                        shm.close()
+                        shm.unlink()
+        """
+        assert codes(src) == []
+
+    def test_try_without_cleanup_flagged(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leaky(name):
+                try:
+                    shm = SharedMemory(name=name)
+                    return shm.buf[0]
+                finally:
+                    pass
+        """
+        assert "RPL101" in codes(src)
+
+    def test_suppression(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def deliberate(name):
+                # repro-lint: disable=RPL101
+                shm = SharedMemory(name=name)
+                return shm
+        """
+        assert codes(src) == []
+
+
+class TestOrderedIteration:
+    def test_append_from_set_loop_flagged(self):
+        src = """
+            def cluster(vertices):
+                out = []
+                for v in set(vertices):
+                    out.append(v)
+                return out
+        """
+        assert "RPL301" in codes(src)
+
+    def test_dict_keys_loop_flagged(self):
+        src = """
+            def order(balls):
+                out = []
+                for v in balls.keys():
+                    out.append(v)
+                return out
+        """
+        assert "RPL301" in codes(src)
+
+    def test_label_map_from_set_param_flagged(self):
+        src = """
+            from typing import Dict, Set
+
+            def label(remaining: Set[int]) -> Dict[int, int]:
+                labels: Dict[int, int] = {}
+                next_id = 0
+                for v in remaining:
+                    labels[v] = next_id
+                    next_id += 1
+                return labels
+        """
+        assert "RPL301" in codes(src)
+
+    def test_returned_comprehension_flagged(self):
+        src = """
+            def members(vs):
+                chosen = set(vs)
+                return [v for v in chosen]
+        """
+        assert "RPL301" in codes(src)
+
+    def test_yield_from_set_loop_flagged(self):
+        src = """
+            def stream(vs):
+                for v in set(vs):
+                    yield v
+        """
+        assert "RPL301" in codes(src)
+
+    def test_sorted_wrap_clean(self):
+        src = """
+            def cluster(vertices):
+                out = []
+                for v in sorted(set(vertices)):
+                    out.append(v)
+                return out
+        """
+        assert codes(src) == []
+
+    def test_set_accumulation_clean(self):
+        """Building a *set* from a set is order-independent."""
+        src = """
+            def union(layers):
+                removed = set()
+                for layer in layers:
+                    removed |= set(layer)
+                return removed
+        """
+        assert codes(src) == []
+
+    def test_pure_reduction_clean(self):
+        src = """
+            def size(vs):
+                total = 0
+                for v in set(vs):
+                    total += 1
+                return total
+        """
+        assert codes(src) == []
+
+    def test_tests_out_of_scope(self):
+        src = """
+            def helper(vs):
+                out = []
+                for v in set(vs):
+                    out.append(v)
+                return out
+        """
+        assert codes(src, path="tests/test_fixture.py") == []
+
+    def test_suppression(self):
+        src = """
+            def cluster(vertices):
+                out = []
+                # repro-lint: disable=RPL301
+                for v in set(vertices):
+                    out.append(v)
+                return out
+        """
+        assert codes(src) == []

@@ -141,7 +141,11 @@ class TestRandomGeometric:
         dx = xs[:, None] - xs[None, :]
         dy = ys[:, None] - ys[None, :]
         i_idx, j_idx = np.nonzero(dx * dx + dy * dy <= radius * radius)
-        expected = {(int(i), int(j)) for i, j in zip(i_idx, j_idx) if i < j}
+        expected = {
+            (int(i), int(j))
+            for i, j in zip(i_idx, j_idx, strict=True)
+            if i < j
+        }
         assert set(big.edges()) == expected
 
     def test_patch_deterministic_closest_representatives(self):
@@ -167,7 +171,7 @@ class TestGeometricCellGrid:
     def _canon(us, vs):
         lo = np.minimum(us, vs)
         hi = np.maximum(us, vs)
-        return set(zip(lo.tolist(), hi.tolist()))
+        return set(zip(lo.tolist(), hi.tolist(), strict=True))
 
     @pytest.mark.parametrize("seed", range(12))
     def test_cells_match_blocked_on_random_draws(self, seed):

@@ -28,7 +28,7 @@ class TestGrowAndCarve:
     def test_chooses_sparsest_layer(self):
         # Star-with-path: layer sizes from center: 1, k, 1, 1 ...
         g = path_graph(6).union_disjoint(path_graph(0))
-        edges = list(g.edges()) + [(0, 6), (0, 7), (0, 8)]
+        edges = [*g.edges(), (0, 6), (0, 7), (0, 8)]
         from repro.graphs import Graph
 
         g2 = Graph(9, edges)

@@ -138,6 +138,28 @@ class TestBackendEquivalence:
         assert ref.fixed_weight == fast.fixed_weight
         assert ref.num_zones == fast.num_zones
         assert ref.residual_size == fast.residual_size
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_chang_li_covering_backends_identical(self, seed, shared_cache):
+        """The Theorem 1.3 driver itself (explicit params, no profile
+        wrapper) is bit-identical across backends."""
+        from repro.core import chang_li_covering
+        from repro.core.params import CoveringParams
+        from repro.ilp import min_dominating_set_ilp
+
+        instance = min_dominating_set_ilp(grid_graph(4, 5))
+        params = CoveringParams.practical(0.4, max(instance.n, 2))
+        ref = chang_li_covering(
+            instance, params, seed=seed, cache=shared_cache, backend="python"
+        )
+        fast = chang_li_covering(
+            instance, params, seed=seed, cache=shared_cache, backend="csr"
+        )
+        assert ref.chosen == fast.chosen
+        assert ref.weight == fast.weight
+        assert ref.fixed_weight == fast.fixed_weight
+        assert ref.num_zones == fast.num_zones
+        assert ref.residual_size == fast.residual_size
         assert ref.ledger.effective_rounds == fast.ledger.effective_rounds
 
     def test_unknown_backend_rejected(self):

@@ -89,7 +89,10 @@ class TestPackingParams:
 
     def test_interval_disjointness(self):
         p = PackingParams.practical(0.25, 100)
-        seq = [p.interval(i) for i in range(1, p.t + 1)] + [p.phase2_interval()]
+        seq = [
+            *(p.interval(i) for i in range(1, p.t + 1)),
+            p.phase2_interval(),
+        ]
         for i in range(1, len(seq)):
             assert seq[i - 1][0] > seq[i][1]
 

@@ -105,7 +105,7 @@ class TestDegenerateCases:
 
     def test_single_huge_shift_swallows_path(self):
         g = path_graph(8)
-        shifts = [50.0] + [0.0] * 7
+        shifts = [50.0, *([0.0] * 7)]
         d = elkin_neiman_ldd(g, 0.1, ntilde=8, shifts=shifts)
         assert not d.deleted
         assert len(d.clusters) == 1

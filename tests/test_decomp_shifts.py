@@ -74,7 +74,7 @@ class TestFloodSemantics:
         """Top-2 pruning must not change EN decisions (soundness of the
         suppression argument)."""
         rng = np.random.default_rng(11)
-        for trial in range(10):
+        for _trial in range(10):
             g = cycle_graph(12)
             shifts = list(rng.exponential(1.5, size=12))
             full = shifted_flood(g, shifts, keep=None)

@@ -206,7 +206,7 @@ def _shattered_graph(num_components=10000):
         base = 3 * c
         edges_u += [base, base + 1]
         edges_v += [base + 1, base + 2]
-    return Graph(3 * num_components, zip(edges_u, edges_v))
+    return Graph(3 * num_components, zip(edges_u, edges_v, strict=True))
 
 
 class TestSaturationShortcut:
@@ -292,7 +292,7 @@ class TestSaturationShortcut:
         assert graph.csr()._padded_adjacency() is None
         sizes, depths = graph.csr().all_ball_sizes(None)
         assert sizes.tolist() == [200.0] * 200
-        assert depths.tolist() == [1] + [2] * 199
+        assert depths.tolist() == [1, *([2] * 199)]
 
     def test_padded_table_built_for_regular_degrees(self):
         graph = grid_graph(8, 8)
@@ -388,11 +388,11 @@ def _diameter_budget(params: LddParams) -> float:
 class TestLddEndToEndBothBackends:
     """Both backends satisfy Theorem 1.1's guarantees and agree exactly."""
 
-    GRAPHS = [
+    GRAPHS = (
         ("cycle-150", lambda: cycle_graph(150)),
         ("grid-12x12", lambda: grid_graph(12, 12)),
         ("caterpillar-40x2", lambda: caterpillar(40, 2)),
-    ]
+    )
 
     @pytest.mark.parametrize("name,make", GRAPHS)
     def test_guarantees_and_agreement(self, name, make):

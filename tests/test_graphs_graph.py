@@ -1,6 +1,8 @@
 """Unit and property tests for the Graph data structure."""
 
 
+import itertools
+
 import networkx as nx
 import numpy as np
 import pytest
@@ -198,7 +200,7 @@ class TestFromNetworkxRelabelling:
         repr) keeps its path structure *and* its numeric vertex order."""
         labels = [3, 20, 100, 1000]
         nxg = nx.Graph()
-        nxg.add_edges_from(zip(labels, labels[1:]))
+        nxg.add_edges_from(itertools.pairwise(labels))
         g = Graph.from_networkx(nxg)
         assert g.edges() == ((0, 1), (1, 2), (2, 3))
         assert g.to_networkx().degree(0) == 1
@@ -221,20 +223,21 @@ class TestFromNetworkxRelabelling:
 class TestDiameterBackends:
     """Graph.diameter/eccentricity on the CSR kernel vs python BFS."""
 
-    CASES = [
+    CASES = (
         Graph(0, []),
         Graph(1, []),
         Graph(2, []),
         Graph(5, [(0, 1), (1, 2), (3, 4)]),
         Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
-    ]
+    )
 
     def test_diameter_matches_python(self):
         import numpy as np
 
         from repro.graphs import grid_graph, random_tree
 
-        graphs = self.CASES + [
+        graphs = [
+            *self.CASES,
             grid_graph(5, 6),
             random_tree(30, np.random.default_rng(1)),
         ]

@@ -28,7 +28,7 @@ from repro.graphs.metrics import decomposition_stats
 def _graphs():
     rng = np.random.default_rng(7)
     shattered = Graph(
-        90, [(3 * i, 3 * i + 1) for i in range(30)] + [(1, 2), (4, 5)]
+        90, [*((3 * i, 3 * i + 1) for i in range(30)), (1, 2), (4, 5)]
     )
     return [
         ("grid", grid_graph(14, 17)),
@@ -68,7 +68,7 @@ class TestResolveKernelWorkers:
         assert parallel.resolve_kernel_workers() == 1
 
     def test_invalid_explicit_count_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="kernel_workers"):
             parallel.resolve_kernel_workers(0)
 
 

@@ -65,7 +65,7 @@ class TestIntegerPacking:
                     ok = False
             if not ok:
                 continue
-            objective = sum(w * x for w, x in zip(weights, values))
+            objective = sum(w * x for w, x in zip(weights, values, strict=True))
             if best is None:
                 best = objective
             best = max(best, objective) if sense == "max" else min(best, objective)
