@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
+import repro.obs as _obs
 from repro.graphs.graph import Graph
 from repro.ilp.exact import (
     SolveCache,
@@ -89,14 +90,15 @@ def grow_and_carve(
     """
     a, b = interval
     require(1 <= a <= b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(
-        graph,
-        centers,
-        b,
-        within=remaining,
-        backend=backend,
-        kernel_workers=kernel_workers,
-    )
+    with _obs.span("carve.gather"):
+        gathered = gather_ball(
+            graph,
+            centers,
+            b,
+            within=remaining,
+            backend=backend,
+            kernel_workers=kernel_workers,
+        )
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(
@@ -150,14 +152,15 @@ def grow_and_carve_packing(
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(
-        graph,
-        centers,
-        b - 1,
-        within=remaining,
-        backend=backend,
-        kernel_workers=kernel_workers,
-    )
+    with _obs.span("carve.gather"):
+        gathered = gather_ball(
+            graph,
+            centers,
+            b - 1,
+            within=remaining,
+            backend=backend,
+            kernel_workers=kernel_workers,
+        )
     layers = gathered.layers
     if gathered.depth_reached < a:
         return CarveOutcome(
@@ -167,7 +170,8 @@ def grow_and_carve_packing(
             cut_position=gathered.depth_reached,
             depth=gathered.depth_reached,
         )
-    local = solve_packing_exact(instance, subset=gathered.ball, cache=cache)
+    with _obs.span("carve.local_solve"):
+        local = solve_packing_exact(instance, subset=gathered.ball, cache=cache)
     best_j = a
     best_weight = float("inf")
     j = a
@@ -223,14 +227,15 @@ def grow_and_carve_covering(
     """
     a, b = interval
     require(1 <= a < b, f"invalid interval [{a}, {b}]")
-    gathered = gather_ball(
-        graph,
-        centers,
-        b,
-        within=remaining,
-        backend=backend,
-        kernel_workers=kernel_workers,
-    )
+    with _obs.span("carve.gather"):
+        gathered = gather_ball(
+            graph,
+            centers,
+            b,
+            within=remaining,
+            backend=backend,
+            kernel_workers=kernel_workers,
+        )
     layers = gathered.layers
     if gathered.depth_reached < a + 1:
         return CarveOutcome(
@@ -240,9 +245,10 @@ def grow_and_carve_covering(
             cut_position=gathered.depth_reached,
             depth=gathered.depth_reached,
         )
-    local = solve_covering_exact(
-        instance, subset=gathered.ball, fixed_ones=fixed_ones, cache=cache
-    )
+    with _obs.span("carve.local_solve"):
+        local = solve_covering_exact(
+            instance, subset=gathered.ball, fixed_ones=fixed_ones, cache=cache
+        )
     first_odd = a if a % 2 == 1 else a + 1
     best_j = None
     best_weight = float("inf")

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import repro.obs as _obs
 from repro.core.carve import grow_and_carve
 from repro.core.params import LddParams
 from repro.decomp.elkin_neiman import elkin_neiman_ldd
@@ -101,17 +102,18 @@ def chang_li_ldd(
     # single-source gathers on the CSR backend.
     estimates: Dict[int, float] = {}
     max_depth = 0
-    if backend == "csr" and n:
-        sizes, depths = graph.csr().all_ball_sizes(
-            params.estimate_radius, weights=weights, kernel_workers=kernel_workers
-        )
-        estimates = {v: float(sizes[v]) for v in range(n)}
-        max_depth = int(depths.max())
-    else:
-        for v in range(n):
-            gathered = gather_ball(graph, [v], params.estimate_radius)
-            estimates[v] = _measure(gathered.ball, weights)
-            max_depth = max(max_depth, gathered.depth_reached)
+    with _obs.span("ldd.estimate_nv"):
+        if backend == "csr" and n:
+            sizes, depths = graph.csr().all_ball_sizes(
+                params.estimate_radius, weights=weights, kernel_workers=kernel_workers
+            )
+            estimates = {v: float(sizes[v]) for v in range(n)}
+            max_depth = int(depths.max())
+        else:
+            for v in range(n):
+                gathered = gather_ball(graph, [v], params.estimate_radius)
+                estimates[v] = _measure(gathered.ball, weights)
+                max_depth = max(max_depth, gathered.depth_reached)
     ledger.charge("estimate-nv", params.estimate_radius, max_depth)
 
     # -- Phase 1: t sparsification iterations (Algorithm 2). ----------
@@ -161,28 +163,32 @@ def chang_li_ldd(
         )
     if trace is not None:
         trace.residual_after_phase2 = len(remaining)
+    _obs.gauge("ldd.residual_after_phase2", len(remaining))
 
     # -- Phase 3: Elkin–Neiman on the residual graph. ------------------
     if remaining:
-        en = elkin_neiman_ldd(
-            graph,
-            params.phase3_lambda,
-            ntilde=params.ntilde,
-            seed=rngs[2 * n],
-            within=remaining,
-            backend=backend,
-        )
+        with _obs.span("ldd.phase3_en"):
+            en = elkin_neiman_ldd(
+                graph,
+                params.phase3_lambda,
+                ntilde=params.ntilde,
+                seed=rngs[2 * n],
+                within=remaining,
+                backend=backend,
+            )
         deleted |= en.deleted
         ledger.merge(en.ledger, prefix="phase3-")
         if trace is not None:
             trace.phase3_deleted = len(en.deleted)
+        _obs.count("ldd.phase3_deleted", len(en.deleted))
 
-    clusters = [
-        set(c)
-        for c in graph.connected_components(
-            within=set(range(n)) - deleted, backend=backend
-        )
-    ]
+    with _obs.span("ldd.components"):
+        clusters = [
+            set(c)
+            for c in graph.connected_components(
+                within=set(range(n)) - deleted, backend=backend
+            )
+        ]
     return Decomposition(
         clusters=clusters,
         deleted=deleted,
@@ -252,25 +258,26 @@ def _apply_carves(
     deleted_now: Set[int] = set()
     max_depth = 0
     executed = 0
-    snapshot = remaining
-    if backend == "csr" and centers:
-        snapshot = graph.csr().residual_mask(remaining)
-    for center in centers:
-        if center not in remaining:
-            continue  # carved away by a parallel execution's snapshot merge
-        executed += 1
-        outcome = grow_and_carve(
-            graph,
-            [center],
-            interval,
-            snapshot,
-            weights=weights,
-            backend=backend,
-            kernel_workers=kernel_workers,
-        )
-        removed_now |= outcome.removed
-        deleted_now |= outcome.deleted
-        max_depth = max(max_depth, outcome.depth)
+    with _obs.span(f"ldd.carve.{label}"):
+        snapshot = remaining
+        if backend == "csr" and centers:
+            snapshot = graph.csr().residual_mask(remaining)
+        for center in centers:
+            if center not in remaining:
+                continue  # carved away by a parallel execution's snapshot merge
+            executed += 1
+            outcome = grow_and_carve(
+                graph,
+                [center],
+                interval,
+                snapshot,
+                weights=weights,
+                backend=backend,
+                kernel_workers=kernel_workers,
+            )
+            removed_now |= outcome.removed
+            deleted_now |= outcome.deleted
+            max_depth = max(max_depth, outcome.depth)
     removed_now -= deleted_now  # deleted wins
     deleted |= deleted_now
     remaining -= removed_now
@@ -282,3 +289,8 @@ def _apply_carves(
         trace.centers_per_iteration.append(executed)
         trace.deleted_per_iteration.append(len(deleted_now))
         trace.removed_per_iteration.append(len(removed_now))
+    # Satellite of the LddTrace diagnostics: the same totals flow into
+    # persisted rows whenever a collector is installed, trace or not.
+    _obs.count("ldd.carve.executed", executed)
+    _obs.count("ldd.carve.deleted", len(deleted_now))
+    _obs.count("ldd.carve.removed", len(removed_now))

@@ -16,6 +16,9 @@ that keep the contract true everywhere:
   exercised by name under ``tests/``.
 * **RPL3xx ordered iteration** — unordered ``set``/``dict.keys()``
   iteration must not feed order-sensitive returned structures.
+* **RPL4xx observability boundary** — no direct wall-clock reads in
+  the algorithm packages; timing routes through :mod:`repro.obs`
+  spans/counters (no-ops when tracing is off).
 
 Run as ``python -m repro.devtools.lint [paths]``; see
 ``src/repro/devtools/README.md`` for the rule catalogue and the

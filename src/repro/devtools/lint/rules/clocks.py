@@ -1,0 +1,89 @@
+"""RPL401: determinism-scoped packages must be clock-free.
+
+``repro.obs`` is the sanctioned clock boundary: spans/counters in the
+algorithm packages (``repro.{core,decomp,graphs,ilp,local}``) route
+every timing read through it, so traced and untraced executions run
+the identical algorithm code and the bit-identity suites never see a
+wall clock.  A direct ``time.perf_counter()`` in that scope is either
+dead timing scaffolding or, worse, a value about to leak into an
+output; both belong behind ``repro.obs.span``/``count``.  RPL004
+already catches clocks feeding *seeds*; this rule bans the calls
+outright in the scope.  ``repro.obs`` itself, ``repro.exp``,
+``repro.util`` and tests are outside the scope and keep their clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+#: ``time``-module functions that read a clock.
+_CLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+
+@register
+class DirectClockRule(Rule):
+    code = "RPL401"
+    name = "direct-clock-read"
+    summary = (
+        "direct wall-clock reads (time.perf_counter/monotonic/...) are "
+        "banned in the algorithm packages; route timing through "
+        "repro.obs spans/counters"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_determinism_scope:
+            return
+        local_clocks: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FUNCS:
+                        local_clocks.add(alias.asname or alias.name)
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"import of time.{alias.name} into a "
+                            "determinism-scoped package; time it with "
+                            "repro.obs.span instead",
+                        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _CLOCK_FUNCS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"time.{func.attr}() reads a wall clock inside the "
+                    "determinism scope; wrap the region in "
+                    "repro.obs.span (the sanctioned clock boundary)",
+                )
+            elif isinstance(func, ast.Name) and func.id in local_clocks:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{func.id}() reads a wall clock inside the "
+                    "determinism scope; wrap the region in "
+                    "repro.obs.span (the sanctioned clock boundary)",
+                )

@@ -132,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute cached trials whose stored status is error/timeout",
     )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help="trace executed trials with repro.obs: rows gain "
+        "spans/counters/gauges tables (timing-exempt; see also the "
+        "REPRO_OBS env var, which this flag overrides)",
+    )
 
     rep = sub.add_parser("report", help="aggregate stored rows into a table + json")
     rep.add_argument("scenario", help="registered scenario name")
@@ -258,6 +265,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retry_failed=args.retry_failed,
         progress=print,
         kernel_workers=args.kernel_workers,
+        obs=True if args.obs else None,
     )
     agg = _report.aggregate(scn.name, result.rows)
     _report.render_table(agg).print()

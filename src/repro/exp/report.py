@@ -29,6 +29,51 @@ def _metric_summary(values: List[Any]) -> Dict[str, Any]:
     return summary
 
 
+def _span_summary(ok_rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-path span statistics over rows persisted with tracing on.
+
+    Each entry summarizes the rows that recorded the path:
+    ``rows`` (how many did), mean calls, and mean/min/max wall seconds.
+    Rows without a ``spans`` table (tracing off) contribute nothing.
+    """
+    tables = [
+        row["spans"] for row in ok_rows if isinstance(row.get("spans"), dict)
+    ]
+    if not tables:
+        return {}
+    out: Dict[str, Any] = {}
+    for path in sorted({path for table in tables for path in table}):
+        entries = [table[path] for table in tables if path in table]
+        calls = [float(e.get("calls", 0)) for e in entries]
+        walls = [float(e.get("wall_s", 0.0)) for e in entries]
+        out[path] = {
+            "rows": len(entries),
+            "calls_mean": sum(calls) / len(calls),
+            "wall_s_mean": sum(walls) / len(walls),
+            "wall_s_min": min(walls),
+            "wall_s_max": max(walls),
+        }
+    return out
+
+
+def _obs_table_summary(
+    ok_rows: Sequence[Dict[str, Any]], field: str, pick
+) -> Dict[str, Any]:
+    """``_metric_summary`` over a row-level obs table (counters/gauges).
+
+    ``pick`` maps the stored per-row value to the scalar summarized —
+    identity for counters, the peak for gauges.
+    """
+    tables = [row[field] for row in ok_rows if isinstance(row.get(field), dict)]
+    if not tables:
+        return {}
+    out: Dict[str, Any] = {}
+    for name in sorted({name for table in tables for name in table}):
+        values = [pick(table[name]) for table in tables if name in table]
+        out[name] = _metric_summary([v for v in values if v is not None])
+    return out
+
+
 def aggregate(scenario: str, rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     """Aggregate rows of one scenario into the BENCH json structure.
 
@@ -88,14 +133,27 @@ def aggregate(scenario: str, rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
             )
             for name in metric_names
         }
-        points.append(
-            {
-                "params": json.loads(key),
-                "trials": len(group),
-                "statuses": statuses,
-                "metrics": metrics,
-            }
+        point = {
+            "params": json.loads(key),
+            "trials": len(group),
+            "statuses": statuses,
+            "metrics": metrics,
+        }
+        # repro.obs tables ride along only when rows actually carry
+        # them, so aggregates of untraced runs stay byte-identical to
+        # the pre-obs format.
+        spans = _span_summary(ok_rows)
+        if spans:
+            point["spans"] = spans
+        counters = _obs_table_summary(ok_rows, "counters", lambda v: v)
+        if counters:
+            point["counters"] = counters
+        gauges = _obs_table_summary(
+            ok_rows, "gauges", lambda v: v.get("max") if isinstance(v, dict) else None
         )
+        if gauges:
+            point["gauges"] = gauges
+        points.append(point)
     return {
         "schema": SCHEMA_VERSION,
         "scenario": scenario,

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import obs as _obs
 from repro.exp import scenarios as _scenarios
 from repro.exp.store import (
     SCHEMA_VERSION,
@@ -52,6 +53,11 @@ from repro.graphs.parallel import KERNEL_WORKERS_ENV
 #: trial's duration — how :func:`coordinate_parallelism`'s split
 #: reaches the CSR kernels without touching the trial's row (kernel
 #: sharding is bit-invisible, so it must never enter the resume key).
+#: The optional ninth element is the ``repro.obs`` tracing flag: a
+#: traced trial runs under a collector and its row gains the
+#: timing-exempt ``spans``/``counters``/``gauges`` tables.  Like kernel
+#: sharding, tracing never enters the resume key — traced and untraced
+#: runs share cached rows.
 TrialSpec = Tuple[Any, ...]
 
 
@@ -113,9 +119,17 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
     (``trials x kernel_workers <= budget``) holds even when the caller
     exported a global override.  The pin never touches the row, so rows
     stay bit-identical at any kernel-worker count.
+
+    When the spec's obs flag (element 9) is set, the trial body runs
+    under a :class:`repro.obs.Collector` and the row gains ``spans`` /
+    ``counters`` / ``gauges`` tables (timing-exempt, see
+    :data:`repro.exp.store.TIMING_FIELDS`).  Error and timeout rows
+    keep whatever the collector gathered before the failure — partial
+    span tables localize where a trial died.
     """
     name, params, trial, root_seed, timeout, version = spec[:6]
     kernel_workers = spec[7] if len(spec) > 7 else None
+    traced = bool(spec[8]) if len(spec) > 8 else False
     row: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "scenario": name,
@@ -130,6 +144,7 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
     previous_env = os.environ.get(KERNEL_WORKERS_ENV)
     if kernel_workers is not None:
         os.environ[KERNEL_WORKERS_ENV] = str(kernel_workers)
+    collector = _obs.Collector() if traced else None
     start = time.perf_counter()
     try:
         try:
@@ -144,7 +159,15 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
         ctx = _scenarios.TrialContext(
             _scenarios.trial_seed_sequence(root_seed, params, trial)
         )
-        metrics = _call_with_timeout(lambda: scn.func(dict(params), ctx), timeout)
+        if collector is not None:
+
+            def run_traced() -> Dict[str, Any]:
+                with _obs.collect(collector):
+                    return scn.func(dict(params), ctx)
+
+            metrics = _call_with_timeout(run_traced, timeout)
+        else:
+            metrics = _call_with_timeout(lambda: scn.func(dict(params), ctx), timeout)
         if not isinstance(metrics, dict):
             raise TypeError(
                 f"scenario {name!r} returned {type(metrics).__name__}, expected dict"
@@ -162,6 +185,10 @@ def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
                 os.environ.pop(KERNEL_WORKERS_ENV, None)
             else:
                 os.environ[KERNEL_WORKERS_ENV] = previous_env
+    if collector is not None:
+        row["spans"] = collector.span_table()
+        row["counters"] = collector.counter_table()
+        row["gauges"] = collector.gauge_table()
     row["elapsed_s"] = time.perf_counter() - start
     return row
 
@@ -225,6 +252,7 @@ def run_scenario(
     retry_failed: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     kernel_workers: Optional[int] = None,
+    obs: Optional[bool] = None,
 ) -> RunResult:
     """Run (or resume) a scenario sweep.
 
@@ -260,6 +288,13 @@ def run_scenario(
         — reruns are no-ops.  ``True`` re-executes trials whose cached
         row is ``error``/``timeout`` (the fresh row supersedes the old
         one on read: last write wins per key).
+    obs:
+        ``True`` traces every executed trial with :mod:`repro.obs`
+        (rows gain timing-exempt ``spans``/``counters``/``gauges``
+        tables); ``False`` disables tracing; ``None`` (default) defers
+        to the ``REPRO_OBS`` environment variable.  Tracing never
+        enters the resume key: already-cached rows are returned as-is,
+        whichever way they were recorded.
     """
     scn = _scenarios.get(scenario) if isinstance(scenario, str) else scenario
     points = scn.param_points(overrides)
@@ -274,6 +309,7 @@ def run_scenario(
         kernel_workers,
     )
 
+    traced = _obs.resolve_obs(obs)
     func_module = getattr(scn.func, "__module__", None) or ""
     specs: List[TrialSpec] = [
         (
@@ -285,6 +321,7 @@ def run_scenario(
             version,
             func_module,
             trial_kernel_workers,
+            traced,
         )
         for point in points
         for trial in range(per_point)
@@ -330,7 +367,8 @@ def run_scenario(
         f"{scn.name}: {len(points)} param point(s) x {per_point} trial(s) = "
         f"{len(specs)} total; {len(specs) - len(pending)} cached, "
         f"{len(pending)} to run ({trial_workers or 'inline'} trial workers "
-        f"x {trial_kernel_workers} kernel workers)"
+        f"x {trial_kernel_workers} kernel workers"
+        f"{', obs tracing on' if traced else ''})"
     )
     if cached_failures:
         say(

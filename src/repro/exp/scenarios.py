@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.util.rng import stable_seed_from
 
 TrialFunc = Callable[[Dict[str, Any], "TrialContext"], Dict[str, Any]]
@@ -386,10 +387,13 @@ def _ldd_quality_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, A
     from repro.decomp.quality import summarize_decomposition
 
     graph_seq, algo_seq = ctx.spawn(2)
-    graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    with _obs.span("trial.build_graph"):
+        graph = build_family(params["family"], np.random.default_rng(graph_seq))
     ldd_params = LddParams.practical(params["eps"], graph.n)
-    decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
-    summary = summarize_decomposition(graph, decomposition)
+    with _obs.span("trial.ldd"):
+        decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
+    with _obs.span("trial.validate"):
+        summary = summarize_decomposition(graph, decomposition)
     budget = ldd_diameter_budget(ldd_params)
     return {
         "n": graph.n,
@@ -435,12 +439,15 @@ def _ldd_scale_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any
     from repro.graphs.metrics import validate_partition
 
     graph_seq, algo_seq = ctx.spawn(2)
-    graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    with _obs.span("trial.build_graph"):
+        graph = build_family(params["family"], np.random.default_rng(graph_seq))
     ldd_params = LddParams.practical(params["eps"], graph.n)
-    decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
+    with _obs.span("trial.ldd"):
+        decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seq)
     # Full partition audit is O(n + m); the all-pairs weak-diameter
     # sweep is not, so it is the one check skipped at this size.
-    validate_partition(graph, decomposition.clusters, decomposition.deleted)
+    with _obs.span("trial.validate"):
+        validate_partition(graph, decomposition.clusters, decomposition.deleted)
     fraction = len(decomposition.deleted) / graph.n if graph.n else 0.0
     return {
         "n": graph.n,

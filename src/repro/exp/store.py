@@ -24,7 +24,12 @@ SCHEMA_VERSION = 1
 #: Row fields that carry wall-clock measurements rather than trial
 #: results.  Excluded from row keys and from determinism comparisons
 #: (the sharded runner guarantees bit-identical rows *modulo these*).
-TIMING_FIELDS = ("elapsed_s",)
+#: ``spans``/``counters``/``gauges`` are the ``repro.obs`` tables a
+#: traced run attaches: span walls are wall-clock; counters and gauges
+#: are deterministic work totals, but the whole table only exists when
+#: tracing is on, so it is timing-exempt to keep traced and untraced
+#: rows comparable.
+TIMING_FIELDS = ("elapsed_s", "spans", "counters", "gauges")
 
 RowKey = Tuple[str, str, int, int, str]
 

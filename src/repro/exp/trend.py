@@ -21,6 +21,12 @@ chronologically).
 Wall-clock metrics (names ending ``_s`` and scenarios tagged
 ``timing``) are carried in the series but never flagged: machine noise
 is not a regression the dashboard should page on.
+
+Aggregates produced from ``repro.obs``-traced runs (nightly sets
+``REPRO_OBS=1``) additionally carry per-span wall summaries; these
+appear as ``span:<path>`` series, so a flagged trial-level regression
+localizes to the phase that moved.  Span series are timing-class and
+never flagged themselves.
 """
 
 from __future__ import annotations
@@ -88,7 +94,13 @@ def _is_timing_scenario(scenario: str) -> bool:
 
 
 def _is_timing_metric(name: str, scenario_is_timing: bool = False) -> bool:
-    return scenario_is_timing or name.endswith(TIMING_SUFFIXES)
+    # ``span:<path>`` series are aggregated repro.obs span walls —
+    # wall-clock by construction, whatever the path is named.
+    return (
+        scenario_is_timing
+        or name.endswith(TIMING_SUFFIXES)
+        or name.startswith("span:")
+    )
 
 
 def _bench_files(directory: Path) -> Dict[str, Path]:
@@ -200,6 +212,13 @@ def compute_trend(
                         continue
                     values = metrics.setdefault(name, [None] * len(snapshots))
                     values[index] = float(summary["mean"])
+                for name, summary in point.get("spans", {}).items():
+                    if not isinstance(summary, dict) or "wall_s_mean" not in summary:
+                        continue
+                    values = metrics.setdefault(
+                        f"span:{name}", [None] * len(snapshots)
+                    )
+                    values[index] = float(summary["wall_s_mean"])
 
     scenarios_out: Dict[str, Any] = {}
     regressions: List[Dict[str, Any]] = []

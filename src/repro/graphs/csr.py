@@ -37,6 +37,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.graphs import parallel as _parallel
 from repro.util.validation import require
 
@@ -172,6 +173,7 @@ class _PackedSweep:
             reach[:] = 0
             return reach
         if self.pad is not None:
+            _obs.count("csr.sweep.padded_take_levels")
             stage = self._stage
             stage[:n] = frontier
             np.take(stage, self.pad[:, 0], axis=0, out=reach)
@@ -179,6 +181,7 @@ class _PackedSweep:
                 np.take(stage, self.pad[:, d], axis=0, out=scratch)
                 np.bitwise_or(reach, scratch, out=reach)
         else:
+            _obs.count("csr.sweep.reduceat_levels")
             gathered = self._gather
             np.take(frontier, csr._gather_index, axis=0, out=gathered)
             gathered[-1] = 0  # padding row: keeps the last segment harmless
@@ -511,23 +514,27 @@ class CsrGraph:
         chunk = self._chunk_width(chunk_size)
         chunks = [src[lo : lo + chunk] for lo in range(0, len(src), chunk)]
         workers = _parallel.resolve_kernel_workers(kernel_workers)
-        if workers > 1 and len(chunks) > 1:
-            results = _parallel.run_chunk_tasks(
-                self, "ball", chunks, (radius, w, mask), workers
-            )
+        with _obs.span("csr.all_ball_sizes"):
+            if workers > 1 and len(chunks) > 1:
+                results = _parallel.run_chunk_tasks(
+                    self, "ball", chunks, (radius, w, mask), workers
+                )
+                lo = 0
+                for s_chunk, (s_sizes, s_depths) in zip(chunks, results, strict=True):
+                    hi = lo + len(s_chunk)
+                    sizes[lo:hi] = s_sizes
+                    depths[lo:hi] = s_depths
+                    lo = hi
+                return sizes, depths
             lo = 0
-            for s_chunk, (s_sizes, s_depths) in zip(chunks, results, strict=True):
+            for s_chunk in chunks:
                 hi = lo + len(s_chunk)
-                sizes[lo:hi] = s_sizes
-                depths[lo:hi] = s_depths
+                with _obs.span("csr.ball_chunk"):
+                    self._ball_chunk(
+                        s_chunk, radius, w, mask, sizes[lo:hi], depths[lo:hi]
+                    )
                 lo = hi
             return sizes, depths
-        lo = 0
-        for s_chunk in chunks:
-            hi = lo + len(s_chunk)
-            self._ball_chunk(s_chunk, radius, w, mask, sizes[lo:hi], depths[lo:hi])
-            lo = hi
-        return sizes, depths
 
     def _ball_chunk(
         self,
@@ -587,7 +594,11 @@ class CsrGraph:
         while fv.size and (radius is None or r < radius):
             edge_work = int(self.degrees[fv].sum())
             if not edge_work * _SPARSE_COST_FACTOR < packed_cost:
+                _obs.gauge("csr.ball.handover_level", r)
                 break  # densified: hand over to the packed sweep
+            _obs.count("csr.ball.sparse_levels")
+            _obs.count("csr.ball.sparse_frontier_edges", edge_work)
+            _obs.gauge("csr.ball.peak_frontier_edges", edge_work)
             pair_lanes = np.repeat(fl, self.degrees[fv])
             keys = np.unique((self._neighbors_of(fv) << shift) | pair_lanes)
             nv, nl = keys >> shift, keys & ((1 << shift) - 1)
@@ -631,6 +642,7 @@ class CsrGraph:
         lanes = np.arange(64, dtype=np.int64)
         while active.size and (radius is None or r < radius):
             new = sweep.expand(frontier, visited, mask)
+            _obs.count("csr.ball.packed_levels")
             live_words = np.bitwise_or.reduce(new, axis=0)
             live = live_words != 0
             if not live.any():
@@ -645,6 +657,7 @@ class CsrGraph:
                 frontier = new
                 continue
             retired = np.nonzero(~live)[0]
+            _obs.count("csr.ball.words_retired", int(retired.size))
             harvest(visited[:, retired], active[retired])
             keep = np.nonzero(live)[0]
             active = active[keep]
@@ -652,6 +665,7 @@ class CsrGraph:
             frontier = np.ascontiguousarray(new[:, keep])
             sweep = _PackedSweep(self, len(keep))
         if active.size:
+            _obs.count("csr.ball.words_retired", int(active.size))
             harvest(visited, active)
 
     def distances_from(
@@ -688,23 +702,25 @@ class CsrGraph:
         chunks = [
             (lo, src[lo : lo + chunk]) for lo in range(0, len(src), chunk)
         ]
-        if workers > 1 and len(chunks) > 1:
-            results = _parallel.run_chunk_tasks(
-                self,
-                "dist",
-                [s_chunk for _, s_chunk in chunks],
-                (radius, mask),
-                workers,
-            )
-            for (lo, s_chunk), block in zip(chunks, results, strict=True):
-                dist[lo : lo + len(s_chunk)] = block
-            return dist
-        for lo, s_chunk in chunks:
-            if len(s_chunk):
-                dist[lo : lo + len(s_chunk)] = self._distances_chunk(
-                    s_chunk, radius, mask
+        with _obs.span("csr.distances_from"):
+            if workers > 1 and len(chunks) > 1:
+                results = _parallel.run_chunk_tasks(
+                    self,
+                    "dist",
+                    [s_chunk for _, s_chunk in chunks],
+                    (radius, mask),
+                    workers,
                 )
-        return dist
+                for (lo, s_chunk), block in zip(chunks, results, strict=True):
+                    dist[lo : lo + len(s_chunk)] = block
+                return dist
+            for lo, s_chunk in chunks:
+                if len(s_chunk):
+                    with _obs.span("csr.distances_chunk"):
+                        dist[lo : lo + len(s_chunk)] = self._distances_chunk(
+                            s_chunk, radius, mask
+                        )
+            return dist
 
     def _distances_chunk(
         self,
@@ -758,18 +774,20 @@ class CsrGraph:
             chunk = max(1, min(chunk, -(-self.n // workers)))
         src = np.arange(self.n, dtype=np.int64)
         chunks = [src[lo : lo + chunk] for lo in range(0, self.n, chunk)]
-        if workers > 1 and len(chunks) > 1:
-            results = _parallel.run_chunk_tasks(
-                self, "power", chunks, (k,), workers
-            )
-            for chunk_us, chunk_vs in results:
-                us.append(chunk_us)
-                vs.append(chunk_vs)
-        else:
-            for s_chunk in chunks:
-                chunk_us, chunk_vs = self._power_chunk(s_chunk, k)
-                us.append(chunk_us)
-                vs.append(chunk_vs)
+        with _obs.span("csr.power"):
+            if workers > 1 and len(chunks) > 1:
+                results = _parallel.run_chunk_tasks(
+                    self, "power", chunks, (k,), workers
+                )
+                for chunk_us, chunk_vs in results:
+                    us.append(chunk_us)
+                    vs.append(chunk_vs)
+            else:
+                for s_chunk in chunks:
+                    with _obs.span("csr.power_chunk"):
+                        chunk_us, chunk_vs = self._power_chunk(s_chunk, k)
+                    us.append(chunk_us)
+                    vs.append(chunk_vs)
         u_all = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
         v_all = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
         order = np.lexsort((v_all, u_all))
@@ -887,16 +905,17 @@ class CsrGraph:
         ranges = [
             (lo, min(self.n, lo + chunk)) for lo in range(0, self.n, chunk)
         ]
-        if workers > 1 and len(ranges) > 1:
-            results = _parallel.run_chunk_tasks(
-                self, "ecc", ranges, (), workers
-            )
-            for (lo, hi), block in zip(ranges, results, strict=True):
-                ecc[lo:hi] = block
+        with _obs.span("csr.eccentricities"):
+            if workers > 1 and len(ranges) > 1:
+                results = _parallel.run_chunk_tasks(
+                    self, "ecc", ranges, (), workers
+                )
+                for (lo, hi), block in zip(ranges, results, strict=True):
+                    ecc[lo:hi] = block
+                return ecc
+            for lo, hi in ranges:
+                ecc[lo:hi] = self._ecc_chunk(lo, hi)
             return ecc
-        for lo, hi in ranges:
-            ecc[lo:hi] = self._ecc_chunk(lo, hi)
-        return ecc
 
     def _ecc_chunk(self, lo: int, hi: int) -> np.ndarray:
         """Eccentricities of vertices ``lo..hi-1`` as (hi-lo,) float64."""

@@ -43,6 +43,7 @@ import multiprocessing as mp
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.util.validation import require
 
 #: Environment variable providing the default kernel worker count.
@@ -218,14 +219,15 @@ def _attach(spec: Dict[str, Any]):
     return csr
 
 
-def _kernel_task(spec: Dict[str, Any], kind: str, common: tuple, payload):
+def _run_kernel_chunk(spec: Dict[str, Any], kind: str, common: tuple, payload):
     """One chunk of kernel work, executed in a worker process.
 
     Every branch calls the *same* per-chunk helper the serial loop in
     :mod:`repro.graphs.csr` calls, so per-chunk outputs are bit-equal
     to the serial computation by construction.
     """
-    csr = _attach(spec)
+    with _obs.span("parallel.attach"):
+        csr = _attach(spec)
     if kind == "ball":
         radius, weights, mask = common
         s_chunk = payload
@@ -243,6 +245,31 @@ def _kernel_task(spec: Dict[str, Any], kind: str, common: tuple, payload):
         (k,) = common
         return csr._power_chunk(payload, k)
     raise ValueError(f"unknown kernel task kind {kind!r}")
+
+
+def _kernel_task(
+    spec: Dict[str, Any],
+    kind: str,
+    common: tuple,
+    payload,
+    traced: bool = False,
+) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Worker entry point: ``(chunk result, obs export | None)``.
+
+    When the parent ran the dispatch under a :mod:`repro.obs`
+    collector, ``traced`` is set and the chunk runs under a local
+    worker collector whose aggregate tables (spans keyed under
+    ``parallel.chunk.<kind>`` — the per-worker chunk wall) travel back
+    through the existing result channel.  Tracing wraps *around*
+    :func:`_run_kernel_chunk`; the chunk computation itself is
+    identical either way.
+    """
+    if not traced:
+        return _run_kernel_chunk(spec, kind, common, payload), None
+    with _obs.collect() as collector:
+        with _obs.span(f"parallel.chunk.{kind}"):
+            result = _run_kernel_chunk(spec, kind, common, payload)
+    return result, collector.export()
 
 
 # ----------------------------------------------------------------------
@@ -300,15 +327,24 @@ def run_chunk_tasks(
     Results come back in payload order — the caller merges them exactly
     where the serial loop would have written them, which is what makes
     the parallel path bit-identical at any worker count.
+
+    When this process is tracing (:func:`repro.obs.enabled`), workers
+    trace their chunks too and the parent absorbs their span/counter
+    exports **in chunk order** under the current span path — the float
+    accumulation order is pinned, so merged tables are deterministic at
+    any worker count.
     """
-    spec = shared_spec(csr)
+    traced = _obs.enabled()
+    with _obs.span("parallel.export"):
+        spec = shared_spec(csr)
     pool = _pool(workers)
     futures = [
-        pool.submit(_kernel_task, spec, kind, common, payload)
+        pool.submit(_kernel_task, spec, kind, common, payload, traced)
         for payload in payloads
     ]
     try:
-        return [future.result() for future in futures]
+        with _obs.span("parallel.merge_wait"):
+            outcomes = [future.result() for future in futures]
     except BaseException:
         # An escaping exception — a worker fault, or the runner's
         # SIGALRM trial timeout interrupting result() — must not leave
@@ -317,3 +353,8 @@ def run_chunk_tasks(
         for future in futures:
             future.cancel()
         raise
+    collector = _obs.active()
+    if collector is not None:
+        for _result, export in outcomes:
+            collector.absorb(export)
+    return [result for result, _export in outcomes]

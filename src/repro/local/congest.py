@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import math
 
+import repro.obs as _obs
 from repro.local.engine import EngineResult
 from repro.util.validation import require
 
@@ -44,6 +45,12 @@ def audit_congest(result: EngineResult, n: int, constant: float = 32.0) -> Conge
     """
     require(n >= 2, f"n must be >= 2, got {n}")
     budget = int(constant * math.log2(n))
-    return CongestAudit(
+    audit = CongestAudit(
         n=n, max_message_bits=result.max_message_bits, budget_bits=budget
     )
+    # Bandwidth totals flow into persisted rows under a collector — the
+    # audit object itself stays in-memory-only otherwise.
+    _obs.count("congest.audits")
+    _obs.gauge("congest.max_message_bits", audit.max_message_bits)
+    _obs.gauge("congest.budget_bits", audit.budget_bits)
+    return audit

@@ -1,0 +1,62 @@
+"""Chrome-trace (Perfetto-loadable) export of a collector's timeline.
+
+The emitted document follows the Trace Event Format's JSON-object
+flavour: ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with one
+complete ("X") event per recorded span, timestamps/durations in
+microseconds.  Perfetto and ``chrome://tracing`` both infer nesting
+from the begin/end times of events on the same pid/tid, which is
+exactly how the span stack produced them, so the hierarchy renders
+without explicit parent links.
+
+Only the *parent* process's timeline is exported — worker spans merge
+into the aggregate tables (see :meth:`repro.obs.Collector.absorb`) and
+show up in span tables and persisted rows, not on the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs import Collector
+
+
+def chrome_trace(collector: "Collector", process_name: str = "repro") -> Dict[str, Any]:
+    """Build the Trace Event Format document for a collector."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for path, start_s, duration_s in collector.records:
+        events.append(
+            {
+                "name": path.rsplit("/", 1)[-1],
+                "cat": "span",
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": round(start_s * 1e6, 3),
+                "dur": round(duration_s * 1e6, 3),
+                "args": {"path": path},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    collector: "Collector", path: str, process_name: str = "repro"
+) -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    document = chrome_trace(collector, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+__all__ = ["chrome_trace", "write_chrome_trace"]

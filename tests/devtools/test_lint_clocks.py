@@ -1,0 +1,169 @@
+"""RPL401 fixtures: positives, negatives, suppressions.
+
+The rule bans direct wall-clock reads in the determinism scope
+(``repro.{core,decomp,graphs,ilp,local}``); ``repro.obs`` is the
+sanctioned boundary and everything outside the scope keeps its clocks.
+"""
+
+import textwrap
+
+from repro.devtools.lint import lint_sources
+
+LIB = "src/repro/core/fixture.py"
+EXEMPT = "src/repro/exp/fixture.py"
+OBS = "src/repro/obs/fixture.py"
+
+
+def lint(source, path=LIB, **kwargs):
+    return lint_sources([(path, textwrap.dedent(source))], **kwargs)
+
+
+def codes(source, path=LIB, **kwargs):
+    return [v.code for v in lint(source, path=path, **kwargs)]
+
+
+class TestDirectClockCalls:
+    def test_perf_counter_flagged(self):
+        src = """
+            import time
+
+            def f(work):
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+        """
+        assert codes(src).count("RPL401") == 2
+
+    def test_monotonic_flagged(self):
+        src = """
+            import time
+            t = time.monotonic()
+        """
+        assert "RPL401" in codes(src)
+
+    def test_time_and_ns_variants_flagged(self):
+        for func in ("time", "time_ns", "perf_counter_ns", "process_time"):
+            src = f"import time\nt = time.{func}()\n"
+            assert "RPL401" in codes(src), func
+
+    def test_non_clock_time_attr_clean(self):
+        # time.sleep is not a clock read; RPL401 stays quiet.
+        src = """
+            import time
+            time.sleep(0.01)
+        """
+        assert "RPL401" not in codes(src)
+
+    def test_other_module_same_attr_clean(self):
+        src = """
+            import mylib
+            t = mylib.perf_counter()
+        """
+        assert "RPL401" not in codes(src)
+
+
+class TestFromImports:
+    def test_from_import_flagged(self):
+        src = """
+            from time import perf_counter
+            t = perf_counter()
+        """
+        found = codes(src)
+        assert found.count("RPL401") == 2  # the import and the call
+
+    def test_aliased_from_import_call_flagged(self):
+        src = """
+            from time import monotonic as clock
+            t = clock()
+        """
+        assert codes(src).count("RPL401") == 2
+
+    def test_from_import_sleep_clean(self):
+        src = """
+            from time import sleep
+            sleep(0.01)
+        """
+        assert "RPL401" not in codes(src)
+
+    def test_unrelated_name_not_confused(self):
+        # A local function happening to be named perf_counter is not a
+        # clock unless it was imported from time.
+        src = """
+            def perf_counter():
+                return 0
+
+            t = perf_counter()
+        """
+        assert "RPL401" not in codes(src)
+
+
+class TestScope:
+    def test_exp_package_exempt(self):
+        src = """
+            import time
+            t = time.perf_counter()
+        """
+        assert codes(src, path=EXEMPT) == []
+
+    def test_obs_package_exempt(self):
+        # repro.obs is the sanctioned clock boundary.
+        src = """
+            import time
+            t = time.perf_counter()
+        """
+        assert codes(src, path=OBS) == []
+
+    def test_tests_exempt(self):
+        src = """
+            import time
+            t = time.perf_counter()
+        """
+        assert codes(src, path="tests/test_x.py") == []
+
+    def test_graphs_in_scope(self):
+        src = """
+            import time
+            t = time.monotonic()
+        """
+        assert "RPL401" in codes(src, path="src/repro/graphs/fixture.py")
+
+
+class TestSuppression:
+    def test_inline_suppression(self):
+        src = """
+            import time
+            t = time.perf_counter()  # repro-lint: disable=RPL401
+        """
+        assert codes(src) == []
+
+    def test_disable_all_suppresses(self):
+        src = """
+            import time
+            t = time.perf_counter()  # repro-lint: disable=all
+        """
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = """
+            import time
+            t = time.perf_counter()  # repro-lint: disable=RPL004
+        """
+        assert "RPL401" in codes(src)
+
+
+class TestRealTree:
+    def test_algorithm_packages_are_clock_free(self):
+        # The live tree must satisfy its own rule: no direct clock
+        # reads anywhere in the determinism scope.
+        from pathlib import Path
+
+        from repro.devtools.lint import lint_paths
+
+        src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        targets = [
+            str(src_root / pkg)
+            for pkg in ("core", "decomp", "graphs", "ilp", "local")
+        ]
+        found, files_checked = lint_paths(targets)
+        assert files_checked > 0
+        assert [v for v in found if v.code == "RPL401"] == []

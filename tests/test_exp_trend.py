@@ -186,6 +186,43 @@ class TestComputeTrend:
             compute_trend(discover_snapshots([two_snapshots]), tolerance=-0.1)
 
 
+class TestSpanSeries:
+    """`span:<path>` series from repro.obs-traced aggregates."""
+
+    @staticmethod
+    def _traced_blob(wall):
+        blob = _bench_blob("demo", [({"eps": 0.3}, {"ratio": 1.0})])
+        blob["points"][0]["spans"] = {
+            "trial.ldd": {
+                "rows": 2,
+                "calls_mean": 1.0,
+                "wall_s_mean": wall,
+                "wall_s_min": wall,
+                "wall_s_max": wall,
+            }
+        }
+        return blob
+
+    def test_span_series_carried_and_never_flagged(self, tmp_path):
+        _write_snapshot(tmp_path, "a", {"demo": self._traced_blob(1.0)})
+        _write_snapshot(tmp_path, "b", {"demo": self._traced_blob(9.0)})
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.0)
+        entry = trend["scenarios"]["demo"]["points"][0]["metrics"]["span:trial.ldd"]
+        assert entry["series"] == [1.0, 9.0]
+        assert entry["timing"] and not entry["flagged"]
+        assert all(r["metric"] != "span:trial.ldd" for r in trend["regressions"])
+
+    def test_untraced_snapshots_mix_with_traced(self, tmp_path):
+        # A pre-obs snapshot simply contributes None to the span series.
+        _write_snapshot(
+            tmp_path, "a", {"demo": _bench_blob("demo", [({"eps": 0.3}, {"ratio": 1.0})])}
+        )
+        _write_snapshot(tmp_path, "b", {"demo": self._traced_blob(2.5)})
+        trend = compute_trend(discover_snapshots([tmp_path]), tolerance=0.2)
+        entry = trend["scenarios"]["demo"]["points"][0]["metrics"]["span:trial.ldd"]
+        assert entry["series"] == [None, 2.5]
+
+
 class TestOutput:
     def test_trend_json_byte_stable(self, two_snapshots, tmp_path):
         snapshots = discover_snapshots([two_snapshots])
