@@ -73,6 +73,7 @@ def grow_and_carve(
     weights: Optional[Sequence[float]] = None,
     backend: str = "python",
     kernel_workers: Optional[int] = None,
+    mpc=None,
 ) -> CarveOutcome:
     """Algorithm 1: delete the sparsest layer in ``interval``.
 
@@ -87,6 +88,8 @@ def grow_and_carve(
     ``kernel_workers`` is threaded through to :func:`gather_ball` for
     interface uniformity; a carve's gather is a single BFS and stays
     serial (the knob matters to the drivers' *chunked* kernels).
+    ``mpc`` (an :class:`~repro.mpc.MpcRun` on this graph) runs the
+    gather as metered partitioned BFS rounds — bit-identical layers.
     """
     a, b = interval
     require(1 <= a <= b, f"invalid interval [{a}, {b}]")
@@ -98,6 +101,7 @@ def grow_and_carve(
             within=remaining,
             backend=backend,
             kernel_workers=kernel_workers,
+            mpc=mpc,
         )
     layers = gathered.layers
     if gathered.depth_reached < a:

@@ -36,6 +36,7 @@ from repro.decomp.types import Decomposition
 from repro.graphs.csr import check_backend
 from repro.graphs.graph import Graph
 from repro.local.gather import RoundLedger, gather_ball
+from repro.mpc import MpcConfig, MpcRun, check_execution_backend
 from repro.util.rng import LazyRngStreams, SeedLike
 from repro.util.validation import require
 
@@ -60,6 +61,8 @@ def chang_li_ldd(
     trace: Optional[LddTrace] = None,
     backend: str = "csr",
     kernel_workers: Optional[int] = None,
+    execution_backend: str = "local",
+    mpc=None,
 ) -> Decomposition:
     """Run the Theorem 1.1 decomposition with the given parameters.
 
@@ -82,12 +85,39 @@ def chang_li_ldd(
     over worker processes via :mod:`repro.graphs.parallel`; the
     decomposition is bit-identical at any worker count.  ``None``
     resolves through ``REPRO_KERNEL_WORKERS`` (default serial).
+
+    ``execution_backend`` selects the third parallelism level:
+    ``"local"`` (default) keeps the whole graph on one box, ``"mpc"``
+    runs the BFS-shaped steps (the ``n_v`` estimation and every carve
+    gather) over the partitioned ranks of :mod:`repro.mpc`, metering
+    per-round communication — partitions are bit-identical to
+    ``"local"`` at any rank count.  ``mpc`` is either an
+    :class:`~repro.mpc.MpcConfig` (a run is started on ``graph.csr()``
+    and closed on exit) or an already-started :class:`~repro.mpc.MpcRun`
+    on the same graph (kept open so the caller can read ``run.meter``
+    afterwards); ``None`` means ``MpcConfig()`` (a single rank).  Phase
+    3 (Elkin–Neiman and the final components) stays coordinator-local —
+    see the execution-backend matrix in ``src/repro/exp/README.md``.
     """
     check_backend(backend)
+    check_execution_backend(execution_backend)
     n = graph.n
     require(
         weights is None or len(weights) == n, "need one weight per vertex"
     )
+    mpc_run: Optional[MpcRun] = None
+    owns_run = False
+    if execution_backend == "mpc":
+        require(
+            backend == "csr",
+            "execution_backend='mpc' requires backend='csr'",
+        )
+        config = MpcConfig() if mpc is None else mpc
+        if isinstance(config, MpcConfig):
+            mpc_run = config.start(graph.csr()) if n else None
+            owns_run = mpc_run is not None
+        else:
+            mpc_run = config
     ledger = RoundLedger()
     # Per-vertex private streams, derived lazily: stream v is
     # bit-identical to the historical eager ``spawn_rngs(seed, 2n+4)[v]``
@@ -97,98 +127,114 @@ def chang_li_ldd(
     remaining: Set[int] = set(range(n))
     deleted: Set[int] = set()
 
-    # -- Estimate n_v = |N^{4tR}(v)| (Algorithm 2, line 1). -----------
-    # The hot path: one batched frontier expansion replaces n
-    # single-source gathers on the CSR backend.
-    estimates: Dict[int, float] = {}
-    max_depth = 0
-    with _obs.span("ldd.estimate_nv"):
-        if backend == "csr" and n:
-            sizes, depths = graph.csr().all_ball_sizes(
-                params.estimate_radius, weights=weights, kernel_workers=kernel_workers
-            )
-            estimates = {v: float(sizes[v]) for v in range(n)}
-            max_depth = int(depths.max())
-        else:
-            for v in range(n):
-                gathered = gather_ball(graph, [v], params.estimate_radius)
-                estimates[v] = _measure(gathered.ball, weights)
-                max_depth = max(max_depth, gathered.depth_reached)
-    ledger.charge("estimate-nv", params.estimate_radius, max_depth)
+    try:
+        # -- Estimate n_v = |N^{4tR}(v)| (Algorithm 2, line 1). -------
+        # The hot path: one batched frontier expansion replaces n
+        # single-source gathers on the CSR backend.
+        estimates: Dict[int, float] = {}
+        max_depth = 0
+        with _obs.span("ldd.estimate_nv"):
+            if mpc_run is not None:
+                sizes, depths = mpc_run.all_ball_sizes(
+                    params.estimate_radius, weights=weights
+                )
+                estimates = {v: float(sizes[v]) for v in range(n)}
+                max_depth = int(depths.max())
+            elif backend == "csr" and n:
+                sizes, depths = graph.csr().all_ball_sizes(
+                    params.estimate_radius,
+                    weights=weights,
+                    kernel_workers=kernel_workers,
+                )
+                estimates = {v: float(sizes[v]) for v in range(n)}
+                max_depth = int(depths.max())
+            else:
+                for v in range(n):
+                    gathered = gather_ball(graph, [v], params.estimate_radius)
+                    estimates[v] = _measure(gathered.ball, weights)
+                    max_depth = max(max_depth, gathered.depth_reached)
+        ledger.charge("estimate-nv", params.estimate_radius, max_depth)
 
-    # -- Phase 1: t sparsification iterations (Algorithm 2). ----------
-    for i in range(1, params.t + 1):
-        interval = params.interval(i)
-        centers = [
-            v
-            for v in sorted(remaining)
-            if rngs[v].random()
-            < params.sampling_probability(i, max(1, int(estimates[v])))
-        ]
-        _apply_carves(
-            graph,
-            centers,
-            interval,
-            remaining,
-            deleted,
-            ledger,
-            f"phase1-iter{i}",
-            weights,
-            trace,
-            backend,
-            kernel_workers,
-        )
-
-    # -- Phase 2: one boosted iteration (Algorithm 3). ----------------
-    if not skip_phase2:
-        interval = params.phase2_interval()
-        centers = [
-            v
-            for v in sorted(remaining)
-            if rngs[n + v].random()
-            < params.phase2_probability(max(1, int(estimates[v])))
-        ]
-        _apply_carves(
-            graph,
-            centers,
-            interval,
-            remaining,
-            deleted,
-            ledger,
-            "phase2",
-            weights,
-            trace,
-            backend,
-            kernel_workers,
-        )
-    if trace is not None:
-        trace.residual_after_phase2 = len(remaining)
-    _obs.gauge("ldd.residual_after_phase2", len(remaining))
-
-    # -- Phase 3: Elkin–Neiman on the residual graph. ------------------
-    if remaining:
-        with _obs.span("ldd.phase3_en"):
-            en = elkin_neiman_ldd(
+        # -- Phase 1: t sparsification iterations (Algorithm 2). ------
+        for i in range(1, params.t + 1):
+            interval = params.interval(i)
+            centers = [
+                v
+                for v in sorted(remaining)
+                if rngs[v].random()
+                < params.sampling_probability(i, max(1, int(estimates[v])))
+            ]
+            _apply_carves(
                 graph,
-                params.phase3_lambda,
-                ntilde=params.ntilde,
-                seed=rngs[2 * n],
-                within=remaining,
-                backend=backend,
+                centers,
+                interval,
+                remaining,
+                deleted,
+                ledger,
+                f"phase1-iter{i}",
+                weights,
+                trace,
+                backend,
+                kernel_workers,
+                mpc_run,
             )
-        deleted |= en.deleted
-        ledger.merge(en.ledger, prefix="phase3-")
-        if trace is not None:
-            trace.phase3_deleted = len(en.deleted)
-        _obs.count("ldd.phase3_deleted", len(en.deleted))
 
-    with _obs.span("ldd.components"):
-        clusters = [
-            set(c)
-            for c in graph.connected_components(
-                within=set(range(n)) - deleted, backend=backend
+        # -- Phase 2: one boosted iteration (Algorithm 3). ------------
+        if not skip_phase2:
+            interval = params.phase2_interval()
+            centers = [
+                v
+                for v in sorted(remaining)
+                if rngs[n + v].random()
+                < params.phase2_probability(max(1, int(estimates[v])))
+            ]
+            _apply_carves(
+                graph,
+                centers,
+                interval,
+                remaining,
+                deleted,
+                ledger,
+                "phase2",
+                weights,
+                trace,
+                backend,
+                kernel_workers,
+                mpc_run,
             )
-        ]
+        if trace is not None:
+            trace.residual_after_phase2 = len(remaining)
+        _obs.gauge("ldd.residual_after_phase2", len(remaining))
+
+        # -- Phase 3: Elkin–Neiman on the residual graph. --------------
+        # Coordinator-local on either execution backend (the EN flood
+        # and the components are not metered MPC rounds; see README).
+        if remaining:
+            with _obs.span("ldd.phase3_en"):
+                en = elkin_neiman_ldd(
+                    graph,
+                    params.phase3_lambda,
+                    ntilde=params.ntilde,
+                    seed=rngs[2 * n],
+                    within=remaining,
+                    backend=backend,
+                )
+            deleted |= en.deleted
+            ledger.merge(en.ledger, prefix="phase3-")
+            if trace is not None:
+                trace.phase3_deleted = len(en.deleted)
+            _obs.count("ldd.phase3_deleted", len(en.deleted))
+
+        with _obs.span("ldd.components"):
+            clusters = [
+                set(c)
+                for c in graph.connected_components(
+                    within=set(range(n)) - deleted, backend=backend
+                )
+            ]
+    finally:
+        if owns_run and mpc_run is not None:
+            mpc_run.close()
     return Decomposition(
         clusters=clusters,
         deleted=deleted,
@@ -205,14 +251,17 @@ def low_diameter_decomposition(
     profile: str = "practical",
     backend: str = "csr",
     kernel_workers: Optional[int] = None,
+    execution_backend: str = "local",
+    mpc=None,
     **profile_kwargs,
 ) -> Decomposition:
     """Convenience entry point: build params, run :func:`chang_li_ldd`.
 
     ``profile`` selects :meth:`LddParams.paper` or
     :meth:`LddParams.practical` (default; extra keyword arguments are
-    forwarded to the profile constructor).  ``backend`` and
-    ``kernel_workers`` are forwarded to :func:`chang_li_ldd`.
+    forwarded to the profile constructor).  ``backend``,
+    ``kernel_workers``, ``execution_backend`` and ``mpc`` are forwarded
+    to :func:`chang_li_ldd`.
     """
     ntilde = ntilde if ntilde is not None else max(graph.n, 2)
     if profile == "paper":
@@ -222,7 +271,13 @@ def low_diameter_decomposition(
     else:
         raise ValueError(f"unknown profile {profile!r}")
     return chang_li_ldd(
-        graph, params, seed=seed, backend=backend, kernel_workers=kernel_workers
+        graph,
+        params,
+        seed=seed,
+        backend=backend,
+        kernel_workers=kernel_workers,
+        execution_backend=execution_backend,
+        mpc=mpc,
     )
 
 
@@ -246,13 +301,15 @@ def _apply_carves(
     trace: Optional[LddTrace],
     backend: str = "python",
     kernel_workers: Optional[int] = None,
+    mpc_run: Optional[MpcRun] = None,
 ) -> None:
     """Run all centers' carves against the same residual snapshot.
 
     Merge rule (Section 3.1.2): a vertex deleted by any execution is
     deleted, even if another execution removed it.  On the CSR backend
     the shared snapshot is converted to a boolean mask once and reused
-    by every carve's BFS.
+    by every carve's BFS.  With ``mpc_run``, every carve's gather runs
+    as metered partitioned BFS rounds instead of the single-box kernel.
     """
     removed_now: Set[int] = set()
     deleted_now: Set[int] = set()
@@ -274,6 +331,7 @@ def _apply_carves(
                 weights=weights,
                 backend=backend,
                 kernel_workers=kernel_workers,
+                mpc=mpc_run,
             )
             removed_now |= outcome.removed
             deleted_now |= outcome.deleted

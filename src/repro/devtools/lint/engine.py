@@ -25,7 +25,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Ty
 #: determinism rules (RPL0xx) apply only here.  ``util.rng`` is the
 #: sanctioned entropy boundary and ``exp`` derives trial seeds through
 #: ``SeedSequence`` by construction; both live outside this set.
-DETERMINISM_PACKAGES = frozenset({"core", "decomp", "graphs", "ilp", "local"})
+#: ``mpc`` (partitions, round drivers, metering) and ``transport``
+#: (shared-memory plumbing) are clock- and RNG-free by contract — their
+#: rank-determinism suite depends on it — so they are in scope too.
+DETERMINISM_PACKAGES = frozenset(
+    {"core", "decomp", "graphs", "ilp", "local", "mpc", "transport"}
+)
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 

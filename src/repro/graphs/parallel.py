@@ -10,8 +10,8 @@ cores*.  This module does exactly that and nothing more:
 
 * the CSR arrays (``indptr``/``indices`` and, when eligible, the
   degree-padded adjacency table) are published once per graph through
-  :mod:`multiprocessing.shared_memory` — workers attach by name and
-  rebuild a :class:`~repro.graphs.csr.CsrGraph` view with **zero
+  :class:`repro.transport.SharedArrayExport` — workers attach by name
+  and rebuild a :class:`~repro.graphs.csr.CsrGraph` view with **zero
   copies** of the adjacency structure;
 * worker processes live in cached :class:`ProcessPoolExecutor` pools
   (spawn context: no fork/threads hazards, portable start-up) and run
@@ -20,69 +20,46 @@ cores*.  This module does exactly that and nothing more:
   (and every other kernel output) are bit-identical to the serial path
   at any worker count.
 
-Worker-count resolution (:func:`resolve_kernel_workers`): an explicit
-``kernel_workers=`` argument wins and is honoured as given (tests force
-2/4 workers on 1-core boxes — oversubscription changes wall-clock, not
-results); otherwise the ``REPRO_KERNEL_WORKERS`` environment variable
-provides the default, capped at ``os.cpu_count()``; unset means 1
-(serial).  The :mod:`repro.exp` runner coordinates this knob with its
-trial sharding so ``trials x kernel_workers`` never oversubscribes the
-machine (see ``runner.coordinate_parallelism``).
+The generic plumbing — segment export/attach with the bounded LRU
+cache, the cached spawn pools, the ordered drain with cancel-on-error
+and broken-pool recovery — lives in :mod:`repro.transport` (shared
+with the partitioned-execution layer, :mod:`repro.mpc`); this module
+keeps only the CSR-specific glue: which arrays to publish, how to
+rebuild a graph from them, and the per-chunk kernel dispatch.
+
+Worker-count resolution (:func:`resolve_kernel_workers`, re-exported
+from :mod:`repro.transport`): an explicit ``kernel_workers=`` argument
+wins and is honoured as given (tests force 2/4 workers on 1-core boxes
+— oversubscription changes wall-clock, not results); otherwise the
+``REPRO_KERNEL_WORKERS`` environment variable provides the default,
+capped at ``os.cpu_count()``; unset means 1 (serial).  The
+:mod:`repro.exp` runner coordinates this knob with its trial sharding
+so ``trials x kernel_workers`` never oversubscribes the machine (see
+``runner.coordinate_parallelism``).
 """
 
 from __future__ import annotations
 
-import atexit
-import os
 import weakref
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
-
-import multiprocessing as mp
 
 import numpy as np
 
 import repro.obs as _obs
-from repro.util.validation import require
+from repro.transport import (
+    KERNEL_WORKERS_ENV,
+    SharedArrayExport,
+    attach_shared,
+    resolve_kernel_workers,
+    run_ordered,
+)
 
-#: Environment variable providing the default kernel worker count.
-KERNEL_WORKERS_ENV = "REPRO_KERNEL_WORKERS"
-
-#: How many distinct shared-CSR attachments a worker process keeps
-#: open; least-recently-used graphs beyond this are detached.
-_ATTACH_CACHE_SIZE = 4
-
-
-def resolve_kernel_workers(kernel_workers: Optional[int] = None) -> int:
-    """Resolve the effective kernel worker count (>= 1).
-
-    An explicit argument is validated and honoured as given — callers
-    that force 2 or 4 workers (determinism tests, benchmarks) get
-    exactly that many, cores notwithstanding.  ``None`` falls back to
-    the ``REPRO_KERNEL_WORKERS`` environment variable, auto-capped at
-    ``os.cpu_count()`` (a fleet-wide export can't oversubscribe a small
-    box); unset or unparsable means 1, the serial path.
-    """
-    if kernel_workers is not None:
-        require(
-            int(kernel_workers) >= 1,
-            f"kernel_workers must be >= 1, got {kernel_workers}",
-        )
-        return int(kernel_workers)
-    raw = os.environ.get(KERNEL_WORKERS_ENV, "").strip()
-    if not raw:
-        return 1
-    try:
-        value = int(raw)
-    except ValueError:
-        return 1
-    return max(1, min(value, os.cpu_count() or 1))
-
-
-# ----------------------------------------------------------------------
-# Parent side: shared-memory export of a CsrGraph
-# ----------------------------------------------------------------------
+__all__ = [
+    "KERNEL_WORKERS_ENV",
+    "resolve_kernel_workers",
+    "run_chunk_tasks",
+    "shared_spec",
+]
 
 #: Fields of a CsrGraph published through shared memory.  Everything
 #: else (`degrees`, `_gather_index`, `_starts`, `_zero_degree`) is
@@ -90,19 +67,18 @@ def resolve_kernel_workers(kernel_workers: Optional[int] = None) -> int:
 _SHARED_FIELDS = ("indptr", "indices", "padded")
 
 
-class _SharedExport:
-    """Parent-side handle of one graph's shared-memory segments.
+def shared_spec(csr) -> Dict[str, Any]:
+    """The (cached) shared-memory spec of a :class:`CsrGraph`.
 
-    ``spec`` is the picklable description workers attach from:
-    ``{"token", "n", "nnz", "has_padded", "arrays": {field: (shm_name,
-    dtype_str, shape)}}``.  The export lives as long as its
-    :class:`CsrGraph` (a ``weakref.finalize`` unlinks the segments when
-    the graph is collected or the interpreter exits).
+    ``spec`` keeps its historical shape — ``{"token", "n", "nnz",
+    "has_padded", "arrays": {field: (shm_name, dtype_str, shape)}}`` —
+    with the export itself handled by
+    :class:`repro.transport.SharedArrayExport`.  The export lives as
+    long as its :class:`CsrGraph` (a ``weakref.finalize`` unlinks the
+    segments when the graph is collected or the interpreter exits).
     """
-
-    def __init__(self, csr) -> None:
-        from multiprocessing import shared_memory
-
+    export = csr._shared
+    if export is None:
         arrays: Dict[str, np.ndarray] = {
             "indptr": csr.indptr,
             "indices": csr.indices,
@@ -113,110 +89,32 @@ class _SharedExport:
         padded = csr._padded_adjacency()
         if padded is not None:
             arrays["padded"] = padded
-        self.segments = []
-        spec_arrays: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
-        try:
-            for field, arr in arrays.items():
-                arr = np.ascontiguousarray(arr)
-                shm = shared_memory.SharedMemory(
-                    create=True, size=max(1, arr.nbytes)
-                )
-                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-                view[...] = arr
-                self.segments.append(shm)
-                spec_arrays[field] = (shm.name, arr.dtype.str, arr.shape)
-        except BaseException:
-            self.close()
-            raise
-        self.spec = {
-            "token": spec_arrays["indptr"][0],
-            "n": csr.n,
-            "nnz": csr.nnz,
-            "has_padded": padded is not None,
-            "arrays": spec_arrays,
-        }
-
-    def close(self) -> None:
-        for shm in self.segments:
-            try:
-                shm.close()
-                shm.unlink()
-            except OSError:
-                pass
-        self.segments = []
-
-
-def shared_spec(csr) -> Dict[str, Any]:
-    """The (cached) shared-memory spec of a :class:`CsrGraph`."""
-    export = csr._shared
-    if export is None:
-        export = _SharedExport(csr)
+        export = SharedArrayExport(
+            arrays,
+            meta={
+                "n": csr.n,
+                "nnz": csr.nnz,
+                "has_padded": padded is not None,
+            },
+        )
         csr._shared = export
         weakref.finalize(csr, export.close)
     return export.spec
 
 
-# ----------------------------------------------------------------------
-# Worker side: attach and dispatch
-# ----------------------------------------------------------------------
-
-_ATTACHED: "OrderedDict[str, Tuple[Any, list]]" = OrderedDict()
-
-
-def _detach(entry: Tuple[Any, list]) -> None:
-    _csr, shms = entry
-    for shm in shms:
-        try:
-            shm.close()
-        except OSError:
-            pass
-
-
 def _attach(spec: Dict[str, Any]):
     """Worker-side CsrGraph over the parent's shared arrays (cached)."""
-    token = spec["token"]
-    cached = _ATTACHED.get(token)
-    if cached is not None:
-        _ATTACHED.move_to_end(token)
-        return cached[0]
-    from multiprocessing import shared_memory
-
     from repro.graphs.csr import CsrGraph
 
-    arrays: Dict[str, np.ndarray] = {}
-    shms: list = []
-    try:
-        for field, (name, dtype, shape) in spec["arrays"].items():
-            # Attaching registers with the resource tracker too (no
-            # ``track=False`` before 3.13) — harmless here: spawned workers
-            # inherit the parent's tracker process, whose cache is a set,
-            # so the parent's registration stays the single entry and the
-            # parent's unlink is the single removal.
-            shm = shared_memory.SharedMemory(name=name)
-            shms.append(shm)
-            arrays[field] = np.ndarray(
-                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
-            )
-        csr = CsrGraph._from_shared_arrays(
+    def build(arrays: Dict[str, np.ndarray]):
+        return CsrGraph._from_shared_arrays(
             spec["n"],
             arrays["indptr"],
             arrays["indices"],
             arrays.get("padded"),
         )
-    except BaseException:
-        # A failed attach mid-loop (segment gone after a parent exit,
-        # ENOMEM mapping a view) must not leave the earlier segments
-        # mapped in this worker for the life of the process.
-        for shm in shms:
-            try:
-                shm.close()
-            except OSError:
-                pass
-        raise
-    while len(_ATTACHED) >= _ATTACH_CACHE_SIZE:
-        _detach(_ATTACHED.popitem(last=False)[1])
-    _ATTACHED[token] = (csr, shms)
-    return csr
+
+    return attach_shared(spec, build)
 
 
 def _run_kernel_chunk(spec: Dict[str, Any], kind: str, common: tuple, payload):
@@ -272,49 +170,6 @@ def _kernel_task(
     return result, collector.export()
 
 
-# ----------------------------------------------------------------------
-# Pools and dispatch
-# ----------------------------------------------------------------------
-
-_POOLS: Dict[int, ProcessPoolExecutor] = {}
-
-
-def _init_kernel_worker() -> None:
-    """Pin kernel workers to serial execution.
-
-    Spawned workers inherit the parent's environment; without this, an
-    exported ``REPRO_KERNEL_WORKERS`` would make every worker try to
-    open its *own* nested pool inside :meth:`_ecc_chunk` and friends.
-    """
-    os.environ[KERNEL_WORKERS_ENV] = "1"
-
-
-def _pool(workers: int) -> ProcessPoolExecutor:
-    """A cached worker pool of exactly ``workers`` processes.
-
-    The spawn context keeps worker start-up independent of the parent's
-    thread state (numpy pools, pytest plugins) and matches the default
-    on every platform from 3.14 on; pools are reused across calls so
-    the interpreter start-up cost is paid once per worker count.
-    """
-    pool = _POOLS.get(workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp.get_context("spawn"),
-            initializer=_init_kernel_worker,
-        )
-        _POOLS[workers] = pool
-    return pool
-
-
-@atexit.register
-def _shutdown_pools() -> None:
-    for pool in _POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _POOLS.clear()
-
-
 def run_chunk_tasks(
     csr,
     kind: str,
@@ -326,7 +181,10 @@ def run_chunk_tasks(
 
     Results come back in payload order — the caller merges them exactly
     where the serial loop would have written them, which is what makes
-    the parallel path bit-identical at any worker count.
+    the parallel path bit-identical at any worker count.  Dispatch,
+    cancellation on an escaping exception (worker fault, trial-timeout
+    signal) and broken-pool recovery are
+    :func:`repro.transport.run_ordered`'s.
 
     When this process is tracing (:func:`repro.obs.enabled`), workers
     trace their chunks too and the parent absorbs their span/counter
@@ -337,22 +195,12 @@ def run_chunk_tasks(
     traced = _obs.enabled()
     with _obs.span("parallel.export"):
         spec = shared_spec(csr)
-    pool = _pool(workers)
-    futures = [
-        pool.submit(_kernel_task, spec, kind, common, payload, traced)
-        for payload in payloads
-    ]
-    try:
-        with _obs.span("parallel.merge_wait"):
-            outcomes = [future.result() for future in futures]
-    except BaseException:
-        # An escaping exception — a worker fault, or the runner's
-        # SIGALRM trial timeout interrupting result() — must not leave
-        # orphaned chunk tasks running in the cached pool, where the
-        # next caller's chunks would queue behind them.
-        for future in futures:
-            future.cancel()
-        raise
+    with _obs.span("parallel.merge_wait"):
+        outcomes = run_ordered(
+            workers,
+            _kernel_task,
+            [(spec, kind, common, payload, traced) for payload in payloads],
+        )
     collector = _obs.active()
     if collector is not None:
         for _result, export in outcomes:

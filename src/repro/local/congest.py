@@ -5,15 +5,29 @@ versions open (Section 6).  This module lets experiments *measure* how
 far an execution is from the CONGEST budget: a run audited with
 :func:`audit_congest` reports the largest message in bits and whether
 it fits ``c · log2(n)`` for a given constant.
+
+Per-round bandwidth goes through the same metering path as the
+partitioned-execution backend: the engine's per-round series
+(:attr:`~repro.local.engine.EngineResult.round_bits` /
+``round_messages``) is replayed through a
+:class:`~repro.mpc.metering.CommMeter` with ``prefix="congest",
+unit="bits"``, so ``audit_congest`` and the ``mpc-comm`` scenario emit
+the same obs names (``congest.comm.bits``, ``congest.comm.messages``,
+``congest.rounds``, ``congest.round.max_rank_bits``) and identical
+totals semantics — one accounting, two models.  The LOCAL network is
+replayed as a single aggregated pipe (rank 0 → rank 1): the audit's
+series is total traffic per round, not a per-vertex breakdown.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 import math
+from typing import Tuple
 
 import repro.obs as _obs
 from repro.local.engine import EngineResult
+from repro.mpc.metering import CommMeter
 from repro.util.validation import require
 
 
@@ -24,6 +38,14 @@ class CongestAudit:
     n: int
     max_message_bits: int
     budget_bits: int
+    #: Total bits delivered across every executed round (0 when the
+    #: engine ran without ``measure_bits=True`` — no sizes recorded).
+    total_bits: int = 0
+    #: Total point-to-point messages delivered across every round.
+    total_messages: int = 0
+    #: Bits delivered per executed round, in round order — the series
+    #: the ``congest-bandwidth`` scenario persists alongside the peak.
+    round_bits: Tuple[int, ...] = ()
 
     @property
     def fits(self) -> bool:
@@ -41,14 +63,37 @@ def audit_congest(result: EngineResult, n: int, constant: float = 32.0) -> Conge
     """Audit an engine run against a ``constant * log2(n)`` bit budget.
 
     The constant absorbs serialization overhead (pickle headers); what
-    matters for the model distinction is the growth order.
+    matters for the model distinction is the growth order.  The per-
+    round series is replayed through the unified
+    :class:`~repro.mpc.metering.CommMeter`, which mirrors the totals
+    into :mod:`repro.obs` under the same naming scheme the MPC backend
+    uses (``{prefix}.comm.{unit}`` etc.).
     """
     require(n >= 2, f"n must be >= 2, got {n}")
     budget = int(constant * math.log2(n))
+    meter = CommMeter(ranks=2, prefix="congest", unit="bits")
+    messages = result.round_messages
+    bits_series = result.round_bits
+    # Bits are only recorded under measure_bits=True; a size-less run
+    # still replays its message counts (bit totals stay 0).
+    for index in range(max(len(messages), len(bits_series))):
+        with meter.round("local.round"):
+            meter.record_send(
+                0,
+                1,
+                int(bits_series[index]) if index < len(bits_series) else 0,
+                messages=int(messages[index]) if index < len(messages) else 0,
+            )
+    totals = meter.totals()
     audit = CongestAudit(
-        n=n, max_message_bits=result.max_message_bits, budget_bits=budget
+        n=n,
+        max_message_bits=result.max_message_bits,
+        budget_bits=budget,
+        total_bits=int(totals["bits"]),
+        total_messages=int(totals["messages"]),
+        round_bits=tuple(int(bits) for bits in result.round_bits),
     )
-    # Bandwidth totals flow into persisted rows under a collector — the
+    # Peak-hold gauges flow into persisted rows under a collector — the
     # audit object itself stays in-memory-only otherwise.
     _obs.count("congest.audits")
     _obs.gauge("congest.max_message_bits", audit.max_message_bits)

@@ -14,7 +14,7 @@ experiments can report measured round complexity and CONGEST audits.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Graph
@@ -38,12 +38,22 @@ class EngineResult:
     max_message_bits:
         Size of the largest single message (pickled length × 8); used
         by the CONGEST auditor.  0 when no message was sent.
+    round_messages:
+        Messages delivered in each executed round (length ``rounds``) —
+        the per-round bandwidth series the CONGEST auditor replays
+        through the unified :class:`repro.mpc.metering.CommMeter` path.
+    round_bits:
+        Total encoded bits delivered in each executed round; only
+        populated under ``measure_bits=True`` (empty otherwise — sizing
+        every payload is the expensive part).
     """
 
     outputs: List[Any]
     rounds: int
     messages_sent: int
     max_message_bits: int
+    round_messages: List[int] = field(default_factory=list)
+    round_bits: List[int] = field(default_factory=list)
 
 
 def _message_bits(payload: Any) -> int:
@@ -124,6 +134,8 @@ def run_synchronous(
     rounds = 0
     messages_sent = 0
     max_bits = 0
+    round_messages: List[int] = []
+    round_bits: List[int] = []
     for round_index in range(max_rounds):
         outboxes: List[Dict[int, Any]] = []
         any_traffic = False
@@ -148,13 +160,21 @@ def run_synchronous(
         # (e.g. for a deadline derived from ñ); max_rounds is the
         # runaway guard.
         inboxes: List[Dict[int, Any]] = [{} for _ in range(n)]
+        delivered = 0
+        bits_this_round = 0
         for v in range(n):
             for p, payload in outboxes[v].items():
                 u = neighbor_lists[v][p]
                 inboxes[u][reverse_port[(u, v)]] = payload
-                messages_sent += 1
+                delivered += 1
                 if measure_bits:
-                    max_bits = max(max_bits, _message_bits(payload))
+                    bits = _message_bits(payload)
+                    bits_this_round += bits
+                    max_bits = max(max_bits, bits)
+        messages_sent += delivered
+        round_messages.append(delivered)
+        if measure_bits:
+            round_bits.append(bits_this_round)
         for v in range(n):
             if nodes[v].halted:
                 continue
@@ -169,4 +189,6 @@ def run_synchronous(
         rounds=rounds,
         messages_sent=messages_sent,
         max_message_bits=max_bits,
+        round_messages=round_messages,
+        round_bits=round_bits,
     )

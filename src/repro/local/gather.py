@@ -125,6 +125,7 @@ def gather_ball(
     within: Optional[Set[int]] = None,
     backend: str = "python",
     kernel_workers: Optional[int] = None,
+    mpc=None,
 ) -> GatherResult:
     """Gather ``N^radius(centers)`` as BFS layers, charging the ledger.
 
@@ -145,8 +146,18 @@ def gather_ball(
     levels are sequential and there are no independent chunks to
     shard, so it always executes serially (see the kernel-parallelism
     coverage matrix in ``src/repro/exp/README.md``).
+
+    ``mpc`` (an :class:`~repro.mpc.MpcRun` started on *this* graph's
+    CSR) runs the BFS over the partitioned ranks instead —
+    :func:`repro.mpc.driver.mpc_bfs_distances` is bit-identical to the
+    single-box BFS, so the layers are too, and each BFS level becomes
+    one metered communication round on ``mpc.meter``.
     """
     require(radius >= 0, f"radius must be >= 0, got {radius}")
+    if mpc is not None:
+        return _gather_ball_csr(
+            graph, centers, radius, ledger, label, within, mpc=mpc
+        )
     if backend != "python":
         from repro.graphs.csr import check_backend
 
@@ -201,11 +212,15 @@ def _gather_ball_csr(
     ledger: Optional[RoundLedger],
     label: str,
     within,
+    mpc=None,
 ) -> GatherResult:
     """CSR-backed gather: one vectorized BFS, then layers from distances."""
     import numpy as np
 
-    dist = graph.csr().bfs_distances(centers, radius=radius, within=within)
+    if mpc is not None:
+        dist = mpc.bfs_distances(centers, radius=radius, within=within)
+    else:
+        dist = graph.csr().bfs_distances(centers, radius=radius, within=within)
     reached = np.nonzero(dist >= 0)[0]
     depth = int(dist[reached].max()) if reached.size else 0
     layers: List[Set[int]] = [set() for _ in range(depth + 1)]

@@ -1,0 +1,171 @@
+"""Rank transports: how simulated machines execute their local steps.
+
+The round driver (:mod:`repro.mpc.driver`) is transport-agnostic: it
+hands each rank an opcode plus a payload and expects the rank-local
+result back, in rank order.  Two transports implement that seam:
+
+* :class:`SimulatedTransport` (**default**) — every rank is an
+  in-process :class:`~repro.mpc.partition.ShardKernel`; steps run
+  inline over zero-copy views.  Deterministic, no serialization, no
+  process management — the right default for metering studies, where
+  the *accounted* communication matters and wall-clock parallelism
+  does not.
+* :class:`ProcessTransport` — rank steps run in the shared worker
+  pools of :mod:`repro.transport`: each shard's arrays are published
+  once through :class:`~repro.transport.SharedArrayExport` (attached
+  worker-side with the bounded LRU cache), while per-step state
+  (frontier/visited blocks) ships pickled per call.  Results are
+  bit-identical to the simulated transport — both call the same
+  :class:`ShardKernel` code — and the metering tables are too, because
+  exchanges are planned coordinator-side from the same data.
+
+A real MPI transport would implement the same two-method surface
+(``shard_step``/``close``) over ``mpirun`` ranks; left as future work
+(see the execution-backend matrix in ``src/repro/exp/README.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpc.partition import GraphPartition, ShardKernel
+from repro.transport import SharedArrayExport, attach_shared, run_ordered
+from repro.util.validation import require
+
+#: Registered rank transports ("mpi" is the documented future arm).
+TRANSPORTS = ("simulated", "process")
+
+
+def check_transport(transport: str) -> None:
+    """Validate a ``transport=`` argument."""
+    require(
+        transport in TRANSPORTS,
+        f"unknown mpc transport {transport!r}; expected one of {TRANSPORTS}",
+    )
+
+
+def _kernel_step(kernel: ShardKernel, op: str, payload: Tuple[Any, ...]):
+    """Dispatch one rank-local step — shared by both transports."""
+    if op == "expand":
+        return kernel.expand(*payload)
+    if op == "bfs_neighbors":
+        return kernel.neighbors_global(*payload)
+    raise ValueError(f"unknown shard op {op!r}")
+
+
+class SimulatedTransport:
+    """In-process ranks: steps run inline, in rank order."""
+
+    name = "simulated"
+
+    def __init__(self, partition: GraphPartition) -> None:
+        self.partition = partition
+
+    def shard_step(
+        self, op: str, payloads: Sequence[Optional[Tuple[Any, ...]]]
+    ) -> List[Any]:
+        """Run ``op`` on every rank with a payload (``None`` skips)."""
+        results: List[Any] = []
+        for shard, payload in zip(self.partition.shards, payloads):
+            if payload is None:
+                results.append(None)
+            else:
+                results.append(_kernel_step(shard.kernel, op, payload))
+        return results
+
+    def close(self) -> None:  # symmetry with ProcessTransport
+        pass
+
+
+def _build_shard_kernel(arrays: Dict[str, np.ndarray]) -> ShardKernel:
+    """Worker-side rebuild of a shard from its shared arrays."""
+    return ShardKernel(
+        arrays["indptr"], arrays["indices"], arrays["owned"], arrays["halo"]
+    )
+
+
+def _process_step(spec: Dict[str, Any], op: str, payload: Tuple[Any, ...]):
+    """Worker entry point: attach the shard (LRU-cached), run the step."""
+    kernel = attach_shared(spec, _build_shard_kernel)
+    return _kernel_step(kernel, op, payload)
+
+
+class ProcessTransport:
+    """Process-backed ranks over the shared worker pools.
+
+    Shard arrays cross the process boundary once (shared memory);
+    per-step state ships pickled each call — the price of stateless
+    workers, documented in the execution-backend matrix and the reason
+    the simulated transport is the default.  Call :meth:`close` (the
+    owning :class:`~repro.mpc.MpcRun` does) to unlink the segments.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, partition: GraphPartition, workers: Optional[int] = None
+    ) -> None:
+        self.partition = partition
+        live = sum(1 for s in partition.shards if s.kernel.n_owned)
+        self.workers = (
+            max(1, min(max(live, 1), os.cpu_count() or 1))
+            if workers is None
+            else max(1, int(workers))
+        )
+        self._exports: List[Optional[SharedArrayExport]] = []
+        try:
+            for shard in partition.shards:
+                if shard.kernel.n_owned == 0:
+                    self._exports.append(None)
+                    continue
+                k = shard.kernel
+                self._exports.append(
+                    SharedArrayExport(
+                        {
+                            "indptr": k.indptr,
+                            "indices": k.indices,
+                            "owned": k.owned,
+                            "halo": k.halo,
+                        },
+                        meta={"rank": shard.rank},
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def shard_step(
+        self, op: str, payloads: Sequence[Optional[Tuple[Any, ...]]]
+    ) -> List[Any]:
+        tasks = []
+        slots = []
+        for r, payload in enumerate(payloads):
+            export = self._exports[r]
+            if payload is None or export is None:
+                continue
+            tasks.append((export.spec, op, payload))
+            slots.append(r)
+        results: List[Any] = [None] * len(payloads)
+        if tasks:
+            for r, outcome in zip(slots, run_ordered(self.workers, _process_step, tasks)):
+                results[r] = outcome
+        return results
+
+    def close(self) -> None:
+        for export in self._exports:
+            if export is not None:
+                export.close()
+        self._exports = []
+
+
+def make_transport(
+    name: str, partition: GraphPartition, workers: Optional[int] = None
+):
+    """Instantiate a registered transport over a partition."""
+    check_transport(name)
+    if name == "simulated":
+        return SimulatedTransport(partition)
+    return ProcessTransport(partition, workers=workers)
