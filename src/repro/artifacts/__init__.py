@@ -1,0 +1,52 @@
+"""``repro.artifacts`` — content-addressed persistent artifact caching.
+
+The build-once/serve-many tier: expensive objects (Chang–Li
+decompositions, sparse covers, exact ILP solutions) are serialized to
+numpy-native, mmap-reloadable files addressed by a content fingerprint
+(graph hash + params + code version — :mod:`~repro.artifacts.
+fingerprint`), stored durably with atomic writes and quarantine-on-
+corruption healing (:mod:`~repro.artifacts.store`), and served through
+a two-tier in-process/persistent cache metered by the ``repro.obs``
+counters ``artifacts.{hit,miss,load,build}``
+(:mod:`~repro.artifacts.cache`).  :mod:`~repro.artifacts.codecs` maps
+the library's objects to and from flat arrays; ``python -m
+repro.artifacts stats <root>`` prints a store's manifest summary (the
+nightly workflow uploads it next to ``BENCH_*.json``).
+
+This package is in repro-lint's determinism scope, plus two rules of
+its own: RPL501 (no ``repr()`` anywhere here) and RPL502 (no
+stringification in fingerprint functions) keep every store address a
+content hash of typed bytes rather than a display string.
+"""
+
+from repro.artifacts.cache import ArtifactCache, SolveCache
+from repro.artifacts.codecs import (
+    decode_decomposition,
+    decode_solution,
+    decode_sparse_cover,
+    encode_decomposition,
+    encode_solution,
+    encode_sparse_cover,
+)
+from repro.artifacts.fingerprint import (
+    artifact_digest,
+    fingerprint,
+    graph_fingerprint,
+)
+from repro.artifacts.store import Artifact, ArtifactStore
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "ArtifactStore",
+    "SolveCache",
+    "artifact_digest",
+    "decode_decomposition",
+    "decode_solution",
+    "decode_sparse_cover",
+    "encode_decomposition",
+    "encode_solution",
+    "encode_sparse_cover",
+    "fingerprint",
+    "graph_fingerprint",
+]

@@ -1,0 +1,31 @@
+"""``python -m repro.artifacts`` — store inspection CLI.
+
+``stats <root>`` prints the store's manifest summary as JSON (artifact
+counts and bytes by kind, quarantine count); the nightly workflow
+uploads it alongside ``BENCH_*.json`` so artifact-store growth is a
+trend axis like everything else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.artifacts.store import ArtifactStore
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.artifacts")
+    sub = parser.add_subparsers(dest="command", required=True)
+    stats = sub.add_parser("stats", help="print a store's manifest summary")
+    stats.add_argument("root", help="artifact store root directory")
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        print(json.dumps(ArtifactStore(args.root).stats(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""In-process caching tiers over the artifact store, obs-metered.
+
+:class:`SolveCache` is the process-local exact-solver memo that used to
+live in ``repro.ilp.exact`` (still re-exported there); it is the L1
+pattern in its simplest form — a dict keyed by content-fingerprinted
+tuples.  :class:`ArtifactCache` generalizes it to two tiers: a process
+dict (L1) in front of an optional persistent :class:`ArtifactStore`
+(L2), with every access metered through the ``artifacts.{hit,miss,
+load,build}`` counters so traced runs see cache behavior in their
+span/counter tables.
+
+Cache hits return exactly what recomputation would (keys are content
+fingerprints of pure-function inputs), so rows stay bit-identical at
+any worker count — the invariant the experiment runner relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.artifacts.store import Artifact, ArtifactStore
+
+
+class SolveCache:
+    """Memo for local exact solves keyed by (instance, subset, fixed).
+
+    The paper's algorithms solve the *same* neighborhood instance many
+    times (e.g. every cluster's ``S_C = N^{8tR}(C)`` often saturates to
+    the full vertex set); caching collapses those to one solve.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple):
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            _obs.count("artifacts.hit")
+        return found
+
+    def store(self, key: Tuple, value) -> None:
+        self.misses += 1
+        _obs.count("artifacts.miss")
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class ArtifactCache:
+    """Two-tier artifact cache: process dict (L1) over a store (L2).
+
+    ``store=None`` degrades to a pure in-process cache (every cold
+    access is a build).  Counters: ``hits`` (L1), ``loads`` (L2 disk
+    hits, promoted to L1), ``misses`` (absent from both tiers),
+    ``builds`` (misses that :meth:`get_or_build` filled).
+    """
+
+    def __init__(
+        self, store: Optional[ArtifactStore] = None, mmap: bool = True
+    ) -> None:
+        self.store = store
+        self.mmap = mmap
+        self._l1: Dict[str, Artifact] = {}
+        self.hits = 0
+        self.misses = 0
+        self.loads = 0
+        self.builds = 0
+
+    def __len__(self) -> int:
+        return len(self._l1)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.loads + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses served without touching disk or building."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def get(self, digest: str) -> Optional[Artifact]:
+        artifact = self._l1.get(digest)
+        if artifact is not None:
+            self.hits += 1
+            _obs.count("artifacts.hit")
+            return artifact
+        if self.store is not None:
+            artifact = self.store.load(digest, mmap=self.mmap)
+            if artifact is not None:
+                self.loads += 1
+                _obs.count("artifacts.load")
+                self._l1[digest] = artifact
+                return artifact
+        self.misses += 1
+        _obs.count("artifacts.miss")
+        return None
+
+    def put(
+        self,
+        digest: str,
+        arrays: Dict[str, np.ndarray],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Artifact:
+        """Install an artifact in both tiers (L2 write is atomic)."""
+        if self.store is not None:
+            artifact = self.store.put(digest, arrays, meta)
+        else:
+            artifact = Artifact(
+                digest=digest, meta=dict(meta or {}), arrays=dict(arrays)
+            )
+        self._l1[digest] = artifact
+        return artifact
+
+    def get_or_build(
+        self,
+        digest: str,
+        build: Callable[[], Tuple[Dict[str, np.ndarray], Dict[str, Any]]],
+    ) -> Artifact:
+        """The serving entry point: L1 → L2 → build-and-persist."""
+        artifact = self.get(digest)
+        if artifact is not None:
+            return artifact
+        with _obs.span("artifacts.build"):
+            arrays, meta = build()
+        self.builds += 1
+        _obs.count("artifacts.build")
+        return self.put(digest, arrays, meta)

@@ -1,0 +1,133 @@
+"""Numpy-native codecs for the paper's objects.
+
+Each ``encode_*`` returns ``(arrays, meta)`` ready for
+:meth:`ArtifactStore.put`; each ``decode_*`` rebuilds the library
+object from a loaded :class:`Artifact`.  Encodings are flat arrays so
+mmap reload is zero-copy and the serving layer
+(:mod:`repro.serve`) can index them without materializing python sets:
+
+* decomposition → ``labels`` (n,) int64 — cluster id per vertex, −1
+  for deleted/unclustered — plus ``centers`` (num_clusters,) int64
+  (−1 when the algorithm recorded none);
+* sparse cover → cluster-major CSR (``indptr``/``indices``) since
+  cover clusters overlap;
+* exact solution → sorted ``chosen`` int64 plus a one-element
+  ``weight`` float64 (kept in an array: meta travels through JSON and
+  key material must never round-trip through decimal strings).
+
+Round-trips preserve structure, not provenance: the ``RoundLedger`` of
+a decomposition/cover is not serialized (an artifact is a servable
+result, not a transcript — rebuild if you need round accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.artifacts.store import Artifact
+from repro.util.validation import require
+
+
+def encode_decomposition(
+    decomposition, n: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Flatten a :class:`repro.decomp.types.Decomposition` on ``n`` vertices."""
+    labels = np.full(n, -1, dtype=np.int64)
+    for cid, cluster in enumerate(decomposition.clusters):
+        members = np.fromiter(cluster, dtype=np.int64, count=len(cluster))
+        require(
+            bool(np.all(labels[members] == -1)),
+            "clusters must be disjoint to encode as labels",
+        )
+        labels[members] = cid
+    centers = np.full(len(decomposition.clusters), -1, dtype=np.int64)
+    for cid, center in enumerate(decomposition.centers):
+        if center is not None:
+            centers[cid] = center
+    meta = {
+        "kind": "decomposition",
+        "n": n,
+        "num_clusters": len(decomposition.clusters),
+        "num_deleted": len(decomposition.deleted),
+    }
+    return {"labels": labels, "centers": centers}, meta
+
+
+def decode_decomposition(artifact: Artifact):
+    """Rebuild a :class:`Decomposition` (fresh empty ledger)."""
+    from repro.decomp.types import Decomposition
+
+    labels = np.asarray(artifact.arrays["labels"])
+    centers = np.asarray(artifact.arrays["centers"])
+    num_clusters = int(artifact.meta["num_clusters"])
+    clusters = [set() for _ in range(num_clusters)]
+    for vertex in np.flatnonzero(labels >= 0):
+        clusters[int(labels[vertex])].add(int(vertex))
+    deleted = {int(v) for v in np.flatnonzero(labels == -1)}
+    return Decomposition(
+        clusters=clusters,
+        deleted=deleted,
+        centers=[int(c) if c >= 0 else None for c in centers],
+    )
+
+
+def encode_sparse_cover(
+    cover, n: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Cluster-major CSR encoding of an (overlapping) sparse cover."""
+    sizes = np.fromiter(
+        (len(c) for c in cover.clusters), dtype=np.int64, count=len(cover.clusters)
+    )
+    indptr = np.zeros(len(cover.clusters) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    for cid, cluster in enumerate(cover.clusters):
+        indices[indptr[cid] : indptr[cid + 1]] = sorted(cluster)
+    centers = np.full(len(cover.clusters), -1, dtype=np.int64)
+    for cid, center in enumerate(cover.centers):
+        if center is not None:
+            centers[cid] = center
+    meta = {"kind": "sparse-cover", "n": n, "num_clusters": len(cover.clusters)}
+    return {"indptr": indptr, "indices": indices, "centers": centers}, meta
+
+
+def decode_sparse_cover(artifact: Artifact):
+    """Rebuild a :class:`SparseCover` (fresh empty ledger)."""
+    from repro.decomp.types import SparseCover
+
+    indptr = np.asarray(artifact.arrays["indptr"])
+    indices = np.asarray(artifact.arrays["indices"])
+    centers = np.asarray(artifact.arrays["centers"])
+    clusters = [
+        {int(v) for v in indices[indptr[cid] : indptr[cid + 1]]}
+        for cid in range(len(indptr) - 1)
+    ]
+    return SparseCover(
+        clusters=clusters,
+        centers=[int(c) if c >= 0 else None for c in centers],
+    )
+
+
+def encode_solution(
+    solution,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Flatten an :class:`repro.ilp.exact.ExactSolution`."""
+    chosen = np.fromiter(
+        sorted(solution.chosen), dtype=np.int64, count=len(solution.chosen)
+    )
+    weight = np.array([solution.weight], dtype=np.float64)
+    return {"chosen": chosen, "weight": weight}, {"kind": "solution"}
+
+
+def decode_solution(artifact: Artifact):
+    """Rebuild an :class:`ExactSolution` (bit-exact weight)."""
+    from repro.ilp.exact import ExactSolution
+
+    return ExactSolution(
+        weight=float(np.asarray(artifact.arrays["weight"])[0]),
+        chosen=frozenset(
+            int(v) for v in np.asarray(artifact.arrays["chosen"])
+        ),
+    )

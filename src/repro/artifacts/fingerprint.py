@@ -1,0 +1,150 @@
+"""Canonical content fingerprints for artifact addressing.
+
+Every artifact in the store is addressed by a digest of *content*:
+graph structure, parameter values, algorithm seed, code version.  The
+encoding is a type-tagged length-prefixed byte stream — never a
+``repr()``/``str()`` of a container, and floats enter as their IEEE-754
+bit patterns via ``struct.pack`` — so two processes computing a key for
+the same content always produce the same address, while contents that
+differ only in display formatting (``0.1`` vs ``"0.1"``, dict insertion
+order, set iteration order, ``1`` vs ``1.0``) never collide.
+repro-lint rules RPL501/RPL502 enforce this contract mechanically: no
+``repr()`` in ``repro.artifacts``, no stringification in fingerprint
+functions.
+
+Unordered containers are canonicalized without requiring their elements
+to be mutually comparable: each element is fingerprinted independently
+and the element digests are sorted as bytes.  Dicts sort their items by
+key digest the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Optional
+
+import numpy as np
+
+#: Bump when the byte encoding below changes shape: digests are
+#: persistent addresses, so an encoding change must not alias old ones.
+ENCODING_VERSION = 1
+
+_TAG_NONE = b"N"
+_TAG_FALSE = b"b0"
+_TAG_TRUE = b"b1"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"y"
+_TAG_LIST = b"l"
+_TAG_SET = b"e"
+_TAG_DICT = b"d"
+_TAG_ARRAY = b"a"
+
+
+def _feed_length(h, k: int) -> None:
+    h.update(k.to_bytes(8, "little"))
+
+
+def _feed(h, obj: Any) -> None:
+    """Append one value's canonical encoding to hasher ``h``."""
+    if obj is None:
+        h.update(_TAG_NONE)
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(_TAG_TRUE if obj else _TAG_FALSE)
+    elif isinstance(obj, (int, np.integer)):
+        value = int(obj)
+        data = value.to_bytes(value.bit_length() // 8 + 2, "little", signed=True)
+        h.update(_TAG_INT)
+        _feed_length(h, len(data))
+        h.update(data)
+    elif isinstance(obj, (float, np.floating)):
+        h.update(_TAG_FLOAT)
+        h.update(struct.pack("<d", float(obj)))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(_TAG_STR)
+        _feed_length(h, len(data))
+        h.update(data)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        data = bytes(obj)
+        h.update(_TAG_BYTES)
+        _feed_length(h, len(data))
+        h.update(data)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(_TAG_ARRAY)
+        _feed(h, arr.dtype.str)
+        _feed_length(h, arr.ndim)
+        for extent in arr.shape:
+            _feed_length(h, extent)
+        h.update(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update(_TAG_LIST)
+        _feed_length(h, len(obj))
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(_TAG_SET)
+        _feed_length(h, len(obj))
+        for digest in sorted(_element_digest(item) for item in obj):
+            h.update(digest)
+    elif isinstance(obj, dict):
+        h.update(_TAG_DICT)
+        _feed_length(h, len(obj))
+        pairs = sorted(
+            (_element_digest(key), key, value) for key, value in obj.items()
+        )
+        for key_digest, _, value in pairs:
+            h.update(key_digest)
+            _feed(h, value)
+    else:
+        raise TypeError(
+            "unfingerprintable value of type "
+            + type(obj).__name__
+            + "; key material must be None/bool/int/float/str/bytes/"
+            "ndarray or containers thereof"
+        )
+
+
+def _element_digest(obj: Any) -> bytes:
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.digest()
+
+
+def fingerprint(*parts: Any) -> str:
+    """Hex digest of the canonical encoding of ``parts`` (in order)."""
+    h = hashlib.sha256()
+    _feed_length(h, ENCODING_VERSION)
+    _feed(h, list(parts))
+    return h.hexdigest()
+
+
+def graph_fingerprint(graph) -> str:
+    """Content digest of a graph's structure (vertex count + CSR arrays).
+
+    Accepts a :class:`repro.graphs.Graph` or a ``CsrGraph``; isomorphic
+    relabelings hash differently (by design — artifacts store
+    label-addressed structures).
+    """
+    csr = graph.csr() if hasattr(graph, "csr") else graph
+    return fingerprint("graph", csr.n, csr.indptr, csr.indices)
+
+
+def artifact_digest(
+    kind: str, *parts: Any, code_version: Optional[str] = None
+) -> str:
+    """The store address of an artifact: kind + content + code version.
+
+    ``code_version`` defaults to :func:`repro.exp.store.code_version`,
+    so a code change naturally invalidates every persisted artifact —
+    the same convention the experiment result store uses for rows.
+    Pass an explicit value (e.g. ``""``) to opt out.
+    """
+    if code_version is None:
+        from repro.exp.store import code_version as _current
+
+        code_version = _current()
+    return fingerprint("artifact", kind, list(parts), code_version)

@@ -32,6 +32,14 @@ from repro.core.refine import (
     refine_decomposition,
     refined_diameter_bound,
 )
+from repro.core.repair import (
+    ChurnBatch,
+    RepairResult,
+    apply_churn,
+    dirty_cluster_indices,
+    repair_decomposition,
+    sample_churn,
+)
 
 __all__ = [
     "CoveringParams",
@@ -56,4 +64,10 @@ __all__ = [
     "ldd_with_ideal_diameter",
     "refine_decomposition",
     "refined_diameter_bound",
+    "ChurnBatch",
+    "RepairResult",
+    "apply_churn",
+    "dirty_cluster_indices",
+    "repair_decomposition",
+    "sample_churn",
 ]

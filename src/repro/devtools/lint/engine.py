@@ -28,8 +28,21 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Ty
 #: ``mpc`` (partitions, round drivers, metering) and ``transport``
 #: (shared-memory plumbing) are clock- and RNG-free by contract — their
 #: rank-determinism suite depends on it — so they are in scope too.
+#: ``artifacts`` (content-addressed store: keys must be canonical,
+#: replay must be bit-stable) and ``serve`` (clock-free query path over
+#: those artifacts) join the scope with the serving layer.
 DETERMINISM_PACKAGES = frozenset(
-    {"core", "decomp", "graphs", "ilp", "local", "mpc", "transport"}
+    {
+        "artifacts",
+        "core",
+        "decomp",
+        "graphs",
+        "ilp",
+        "local",
+        "mpc",
+        "serve",
+        "transport",
+    }
 )
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")

@@ -1,0 +1,143 @@
+"""RPL5xx: canonical cache keys in the artifact store.
+
+The artifact store addresses everything by content fingerprint, and a
+fingerprint is only as reproducible as the bytes fed into it.  Python's
+default stringifications are the classic way to lose that: ``repr`` of
+a dict or set depends on insertion order (and, across versions, on
+formatting whims), and ``str``/``format`` of a float bakes a decimal
+rendering into key material that the binary value round-trips through.
+Keys built that way *look* stable in one process and silently diverge
+in the next — a cache that re-builds artifacts it already has, or
+worse, collides.
+
+:mod:`repro.artifacts.fingerprint` therefore encodes every value with
+type tags and exact byte representations (``struct.pack`` for floats,
+``int.to_bytes`` for ints, sorted element digests for unordered
+containers).  These rules keep it that way:
+
+* **RPL501** bans ``repr()`` anywhere in ``repro.artifacts`` — nothing
+  in the store layer should be tempted to hash, compare or persist a
+  ``repr``.  Error messages inside ``raise`` are exempt.
+* **RPL502** bans *all* stringification (``str()``, ``format()``,
+  ``.format(...)``, f-strings, ``"…" % …``) in fingerprint scope: the
+  ``fingerprint`` module itself plus any ``repro.artifacts`` function
+  whose name mentions ``fingerprint`` or ``digest``.  Key material must
+  stay binary end to end; only ``raise`` messages are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+_FINGERPRINT_FUNC_RE = re.compile(r"fingerprint|digest")
+
+
+def _inside_raise(ctx: FileContext, node: ast.AST) -> bool:
+    """True when ``node`` only feeds an exception message."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.Raise):
+            return True
+    return False
+
+
+def _enclosing_function(
+    ctx: FileContext, node: ast.AST
+) -> Optional[ast.AST]:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _in_artifacts(ctx: FileContext) -> bool:
+    return ctx.package == "artifacts"
+
+
+@register
+class ReprInArtifactsRule(Rule):
+    code = "RPL501"
+    name = "repr-in-artifact-store"
+    summary = (
+        "repr() is banned in repro.artifacts: repr of dicts/sets/floats "
+        "is not canonical and must never reach cache-key material"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _in_artifacts(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "repr"
+                and not _inside_raise(ctx, node)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "repr() in the artifact store; fingerprint values "
+                    "with repro.artifacts.fingerprint (type-tagged "
+                    "bytes), not their string form",
+                )
+
+
+@register
+class StringifiedKeyMaterialRule(Rule):
+    code = "RPL502"
+    name = "stringified-key-material"
+    summary = (
+        "str()/format()/f-strings are banned in fingerprint scope; key "
+        "material must be encoded as exact bytes, never via decimal or "
+        "locale-dependent renderings"
+    )
+
+    def _in_fingerprint_scope(
+        self, ctx: FileContext, node: ast.AST
+    ) -> bool:
+        if not _in_artifacts(ctx):
+            return False
+        if ctx.parts and ctx.parts[-1] == "fingerprint.py":
+            return True
+        func = _enclosing_function(ctx, node)
+        return func is not None and bool(
+            _FINGERPRINT_FUNC_RE.search(func.name)  # type: ignore[union-attr]
+        )
+
+    def _flag(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("str", "format"):
+                return f"{func.id}() stringifies key material"
+            if isinstance(func, ast.Attribute) and func.attr == "format":
+                return ".format() stringifies key material"
+        if isinstance(node, ast.JoinedStr):
+            return "f-string stringifies key material"
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            return "%-formatting stringifies key material"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            reason = self._flag(node)
+            if reason is None:
+                continue
+            if not self._in_fingerprint_scope(ctx, node):
+                continue
+            if _inside_raise(ctx, node):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                reason
+                + "; feed exact bytes (struct.pack / int.to_bytes / "
+                "ndarray.tobytes) to the hasher instead",
+            )

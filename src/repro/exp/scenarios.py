@@ -1354,3 +1354,254 @@ def _spanner_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
         "size_bound": result.size_bound(graph.n),
         "max_multiplicity": max(result.multiplicities, default=0),
     }
+
+
+# ----------------------------------------------------------------------
+# Decomposition-as-a-service scenarios (ldd-churn, ldd-serve)
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    name="ldd-churn",
+    description="Serving-layer maintenance: incremental repair "
+    "(recarve dirty clusters only) vs full rebuild under seeded "
+    "edge-churn batches at n ~ 3*10^4 — wall-clock ratio per round, "
+    "with the repaired partition passing the rebuild's validators "
+    "(full partition audit + C1).  r_scale shrinks the carve radius so "
+    "the decomposition actually fragments at this size (an expander "
+    "under the default budget is one cluster and nothing to repair)",
+    grid={
+        "family": ("grid-173x173", "geometric-30000"),
+        "eps": (0.2,),
+        "r_scale": (0.15,),
+        "dirty_fraction": (0.05, 0.1),
+    },
+    trials=1,
+    timeout=7200.0,
+    tags=("timing",),
+)
+def _ldd_churn_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    from repro.core import (
+        LddParams,
+        apply_churn,
+        chang_li_ldd,
+        repair_decomposition,
+        sample_churn,
+    )
+    from repro.graphs.metrics import validate_partition
+
+    rounds = 2
+    graph_seq, algo_seq, churn_seq = ctx.spawn(3)
+    round_seqs = ctx.spawn(2 * rounds)
+    with _obs.span("trial.build_graph"):
+        graph = build_family(params["family"], np.random.default_rng(graph_seq))
+    ldd_params = LddParams.practical(
+        params["eps"], graph.n, r_scale=params["r_scale"]
+    )
+    with _obs.span("trial.ldd"):
+        current = chang_li_ldd(graph, ldd_params, seed=algo_seq)
+    base_clusters = len(current.clusters)
+    churn_rng = np.random.default_rng(churn_seq)
+    repair_walls: List[float] = []
+    rebuild_walls: List[float] = []
+    dirty_fractions: List[float] = []
+    recarved: List[int] = []
+    within_eps = True
+    for rnd in range(rounds):
+        clusters_before = len(current.clusters)
+        target = max(1, round(params["dirty_fraction"] * clusters_before))
+        batch = sample_churn(
+            graph,
+            current,
+            churn_rng,
+            clusters=target,
+            additions=2 * target,
+            removals=target,
+        )
+        graph = apply_churn(graph, batch)
+        start = time.perf_counter()
+        with _obs.span("trial.rebuild"):
+            rebuilt = chang_li_ldd(graph, ldd_params, seed=round_seqs[2 * rnd])
+        rebuild_walls.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        with _obs.span("trial.repair"):
+            result = repair_decomposition(
+                graph,
+                current,
+                batch.edges,
+                ldd_params,
+                seed=round_seqs[2 * rnd + 1],
+            )
+        repair_walls.append(time.perf_counter() - start)
+        # The repaired partition must pass exactly the validators the
+        # rebuild passes (the ldd-scale audit: partition + non-adjacency,
+        # plus the C1 unclustered-fraction bound below).
+        with _obs.span("trial.validate"):
+            validate_partition(graph, rebuilt.clusters, rebuilt.deleted)
+            validate_partition(
+                graph,
+                result.decomposition.clusters,
+                result.decomposition.deleted,
+            )
+        current = result.decomposition
+        within_eps = (
+            within_eps and len(current.deleted) / graph.n <= params["eps"]
+        )
+        dirty_fractions.append(
+            len(result.dirty_clusters) / max(clusters_before, 1)
+        )
+        recarved.append(result.recarved_vertices)
+    repair_total = sum(repair_walls)
+    rebuild_total = sum(rebuild_walls)
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "rounds": rounds,
+        "base_clusters": base_clusters,
+        "final_clusters": len(current.clusters),
+        "unclustered_fraction": len(current.deleted) / graph.n,
+        "within_eps": within_eps,
+        "max_dirty_fraction": max(dirty_fractions),
+        "recarved_vertices": sum(recarved),
+        "repair_wall_s": repair_total,
+        "rebuild_wall_s": rebuild_total,
+        "repair_over_rebuild": repair_total / max(rebuild_total, 1e-12),
+        "repair_round_walls_s": repair_walls,
+        "rebuild_round_walls_s": rebuild_walls,
+    }
+
+
+@lru_cache(maxsize=None)
+def _serve_graph(spec: str):
+    """Fixed per-point serving graphs: the artifact is addressed by the
+    graph's content hash, so the graph must be identical across trials,
+    reruns and worker processes — seeded from the spec, like E14's
+    fixed spanner inputs."""
+    seed = stable_seed_from(spec.encode("utf-8"), salt=101)
+    return build_family(spec, np.random.default_rng(seed))
+
+
+@scenario(
+    name="ldd-serve",
+    description="Decomposition-as-a-service read path: cold build into "
+    "the persistent artifact store (REPRO_ARTIFACT_STORE, else a "
+    "private tempdir), warm mmap reload through a fresh cache (zero "
+    "rebuilds), then seeded point-to-cluster and within-radius query "
+    "traffic — persists p50/p99 batch latency and the artifact hit "
+    "rate so the trend dashboard tracks the serving tier",
+    grid={
+        "family": ("grid-173x173", "geometric-30000"),
+        "eps": (0.2,),
+        "r_scale": (0.15,),
+    },
+    trials=1,
+    timeout=7200.0,
+    tags=("timing",),
+)
+def _ldd_serve_trial(params: Dict[str, Any], ctx: TrialContext) -> Dict[str, Any]:
+    import os
+    import tempfile
+
+    from repro.artifacts import (
+        ArtifactCache,
+        ArtifactStore,
+        artifact_digest,
+        encode_decomposition,
+        graph_fingerprint,
+    )
+    from repro.core import LddParams, chang_li_ldd
+    from repro.exp.store import canonical_params
+    from repro.serve import DecompositionIndex, QueryService, query_workload
+
+    with _obs.span("trial.build_graph"):
+        graph = _serve_graph(params["family"])
+    ldd_params = LddParams.practical(
+        params["eps"], graph.n, r_scale=params["r_scale"]
+    )
+    # The artifact identity is the param point: fixed algorithm seed
+    # (derived from the point, not the trial), content-hashed graph,
+    # params and code version.
+    algo_seed = stable_seed_from(
+        canonical_params(params).encode("utf-8"), salt=7
+    )
+    digest = artifact_digest(
+        "decomposition",
+        graph_fingerprint(graph),
+        {
+            "eps": params["eps"],
+            "r_scale": params["r_scale"],
+            "profile": "practical",
+        },
+        algo_seed,
+    )
+
+    def build():
+        decomposition = chang_li_ldd(graph, ldd_params, seed=algo_seed)
+        return encode_decomposition(decomposition, graph.n)
+
+    root = os.environ.get("REPRO_ARTIFACT_STORE", "").strip()
+    private = None
+    if not root:
+        private = tempfile.TemporaryDirectory(prefix="repro-artifacts-")
+        root = private.name
+    try:
+        cold = ArtifactCache(ArtifactStore(root))
+        start = time.perf_counter()
+        with _obs.span("trial.cold_pass"):
+            artifact = cold.get_or_build(digest, build)
+        cold_s = time.perf_counter() - start
+        # A fresh cache over the same root simulates a new serving
+        # process: the artifact must come back from disk (mmap reload),
+        # never be rebuilt.
+        warm = ArtifactCache(ArtifactStore(root))
+        start = time.perf_counter()
+        with _obs.span("trial.warm_reload"):
+            artifact = warm.get_or_build(digest, build)
+        warm_load_s = time.perf_counter() - start
+        index = DecompositionIndex.from_artifact(artifact)
+        service = QueryService(graph, index)
+
+        point_seq, radius_seq = ctx.spawn(2)
+        point_batches = query_workload(
+            point_seq, graph.n, batches=64, batch_size=512
+        )
+        radius_batches = query_workload(
+            radius_seq, graph.n, batches=8, batch_size=16, radius=4
+        )
+        point_walls: List[float] = []
+        with _obs.span("trial.point_queries"):
+            for batch in point_batches:
+                start = time.perf_counter()
+                warm.get(digest)  # per-batch artifact resolution (hit path)
+                service.point_to_cluster(batch.vertices)
+                point_walls.append(time.perf_counter() - start)
+        radius_walls: List[float] = []
+        with _obs.span("trial.radius_queries"):
+            for batch in radius_batches:
+                start = time.perf_counter()
+                warm.get(digest)
+                service.clusters_within_radius(batch.vertices, batch.radius)
+                radius_walls.append(time.perf_counter() - start)
+    finally:
+        if private is not None:
+            private.cleanup()
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "num_clusters": index.num_clusters,
+        "artifact_nbytes": artifact.nbytes,
+        "store_persistent": private is None,
+        "cold_pass_s": cold_s,
+        "warm_reload_s": warm_load_s,
+        "artifact_builds": cold.builds,
+        "warm_rebuilds": warm.builds,
+        "artifact_loads": warm.loads,
+        "artifact_hits": warm.hits,
+        "artifact_hit_rate": warm.hit_rate(),
+        "point_batches": len(point_walls),
+        "point_p50_s": float(np.percentile(point_walls, 50)),
+        "point_p99_s": float(np.percentile(point_walls, 99)),
+        "radius_batches": len(radius_walls),
+        "radius_p50_s": float(np.percentile(radius_walls, 50)),
+        "radius_p99_s": float(np.percentile(radius_walls, 99)),
+    }

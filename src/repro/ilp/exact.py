@@ -36,6 +36,12 @@ from typing import (
     Tuple,
 )
 
+# Deprecated import location: SolveCache moved to repro.artifacts.cache
+# (the L1 tier of the persistent artifact store) in the serving-layer
+# refactor.  Re-exported here so every existing ``from repro.ilp[.exact]
+# import SolveCache`` keeps working — same class, same keys, so resumed
+# scenario rows are byte-identical to pre-move runs.
+from repro.artifacts.cache import SolveCache  # noqa: F401
 from repro.ilp.instance import (
     FEASIBILITY_TOL,
     Constraint,
@@ -82,31 +88,6 @@ def _solve_via_milp(sub, kind: str) -> ExactSolution:
     return ExactSolution(weight=weight, chosen=frozenset(chosen))
 
 
-class SolveCache:
-    """Memo for local exact solves keyed by (instance, subset, fixed).
-
-    The paper's algorithms solve the *same* neighborhood instance many
-    times (e.g. every cluster's ``S_C = N^{8tR}(C)`` often saturates to
-    the full vertex set); caching collapses those to one solve.
-    """
-
-    def __init__(self) -> None:
-        self._store: Dict[Tuple, ExactSolution] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def lookup(self, key: Tuple) -> Optional[ExactSolution]:
-        found = self._store.get(key)
-        if found is not None:
-            self.hits += 1
-        return found
-
-    def store(self, key: Tuple, value: ExactSolution) -> None:
-        self.misses += 1
-        self._store[key] = value
-
-    def __len__(self) -> int:
-        return len(self._store)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""``repro.serve`` — batched query front end over cached artifacts.
+
+The read path of decomposition-as-a-service: a loaded decomposition
+artifact (flat ``labels`` array, mmap-friendly — see
+:mod:`repro.artifacts.codecs`) is wrapped in a
+:class:`DecompositionIndex` for O(1) vectorized point-to-cluster
+lookups, and a :class:`QueryService` adds graph-aware queries
+(clusters within a hop radius of a batch of sources, via the batched
+CSR BFS kernels).  :mod:`~repro.serve.workload` generates the
+deterministic seeded query traffic the ``ldd-serve`` scenario replays.
+
+The package is clock-free by contract (repro-lint determinism scope):
+latency is measured by the caller (``repro.exp``), metering flows
+through ``repro.obs`` counters (``serve.point_queries``,
+``serve.radius_queries``, ``serve.batches``).
+"""
+
+from repro.serve.service import DecompositionIndex, QueryService
+from repro.serve.workload import QueryBatch, query_workload
+
+__all__ = [
+    "DecompositionIndex",
+    "QueryBatch",
+    "QueryService",
+    "query_workload",
+]

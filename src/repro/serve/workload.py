@@ -1,0 +1,46 @@
+"""Deterministic seeded query workloads for the serving benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """One batch of queries: point lookups, or radius queries when
+    ``radius`` is set."""
+
+    vertices: np.ndarray
+    radius: Optional[int] = None
+
+
+def query_workload(
+    seed: SeedLike,
+    n: int,
+    batches: int,
+    batch_size: int,
+    radius: Optional[int] = None,
+) -> List[QueryBatch]:
+    """``batches`` uniform query batches over ``n`` vertices.
+
+    Fully determined by ``seed`` (one stream, fixed draw order), so two
+    replays — or the same trial at different worker counts — issue
+    byte-identical traffic.  ``radius`` turns every batch into a
+    within-radius cover query at that hop budget.
+    """
+    require(n > 0, "workload needs a non-empty vertex set")
+    require(batches >= 0 and batch_size > 0, "batch shape must be positive")
+    rng = ensure_rng(seed)
+    return [
+        QueryBatch(
+            vertices=rng.integers(0, n, size=batch_size, dtype=np.int64),
+            radius=radius,
+        )
+        for _ in range(batches)
+    ]

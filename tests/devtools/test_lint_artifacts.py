@@ -1,0 +1,141 @@
+"""RPL501/RPL502 fixtures: canonical cache keys in repro.artifacts.
+
+RPL501 bans ``repr()`` anywhere in the artifacts package (repr of
+dicts/sets/floats is not canonical); RPL502 bans all stringification
+in fingerprint scope (the ``fingerprint`` module plus functions whose
+name mentions fingerprint/digest).  Both exempt ``raise`` messages.
+"""
+
+import textwrap
+
+from repro.devtools.lint import lint_sources
+
+ARTIFACTS = "src/repro/artifacts/store.py"
+FINGERPRINT = "src/repro/artifacts/fingerprint.py"
+ELSEWHERE = "src/repro/core/fixture.py"
+
+
+def lint(source, path=ARTIFACTS, **kwargs):
+    return lint_sources([(path, textwrap.dedent(source))], **kwargs)
+
+
+def codes(source, path=ARTIFACTS, **kwargs):
+    return [v.code for v in lint(source, path=path, **kwargs)]
+
+
+class TestReprInArtifacts:
+    def test_repr_flagged(self):
+        src = """
+            def key_for(params):
+                return repr(params)
+        """
+        assert "RPL501" in codes(src)
+
+    def test_repr_in_raise_exempt(self):
+        src = """
+            def check(value):
+                if value is None:
+                    raise ValueError("bad value: " + repr(value))
+        """
+        assert "RPL501" not in codes(src)
+
+    def test_repr_outside_artifacts_clean(self):
+        src = """
+            def debug(x):
+                return repr(x)
+        """
+        assert "RPL501" not in codes(src, path=ELSEWHERE)
+
+    def test_suppression_comment(self):
+        src = """
+            def key_for(params):
+                return repr(params)  # repro-lint: disable=RPL501
+        """
+        assert "RPL501" not in codes(src)
+
+
+class TestStringifiedKeyMaterial:
+    def test_str_in_fingerprint_module_flagged(self):
+        src = """
+            def encode(value):
+                return str(value).encode()
+        """
+        assert "RPL502" in codes(src, path=FINGERPRINT)
+
+    def test_fstring_in_fingerprint_module_flagged(self):
+        src = """
+            def encode(value):
+                return f"{value}".encode()
+        """
+        assert "RPL502" in codes(src, path=FINGERPRINT)
+
+    def test_format_builtin_flagged(self):
+        src = """
+            def encode(value):
+                return format(value, ".17g").encode()
+        """
+        assert "RPL502" in codes(src, path=FINGERPRINT)
+
+    def test_str_format_method_flagged(self):
+        src = """
+            def encode(value):
+                return "{}".format(value).encode()
+        """
+        assert "RPL502" in codes(src, path=FINGERPRINT)
+
+    def test_percent_format_flagged(self):
+        src = """
+            def encode(value):
+                return ("%.17g" % value).encode()
+        """
+        assert "RPL502" in codes(src, path=FINGERPRINT)
+
+    def test_digest_function_elsewhere_in_artifacts_flagged(self):
+        # Key-building helpers outside fingerprint.py are in scope when
+        # their name marks them as fingerprint/digest producers.
+        src = """
+            def cache_digest(params):
+                return str(params)
+        """
+        assert "RPL502" in codes(src, path=ARTIFACTS)
+
+    def test_non_digest_function_in_store_clean(self):
+        # store.py plumbing (paths, index rows) may stringify freely.
+        src = """
+            def path_name(digest):
+                return str(digest) + ".npk"
+        """
+        assert "RPL502" not in codes(src, path=ARTIFACTS)
+
+    def test_raise_exempt_in_fingerprint_scope(self):
+        src = """
+            def encode(value):
+                raise TypeError(f"cannot fingerprint {type(value)}")
+        """
+        assert "RPL502" not in codes(src, path=FINGERPRINT)
+
+    def test_outside_artifacts_clean(self):
+        src = """
+            def my_digest(value):
+                return str(value)
+        """
+        assert "RPL502" not in codes(src, path=ELSEWHERE)
+
+
+class TestRealModulesClean:
+    def test_shipped_artifacts_package_passes(self):
+        # The real package must satisfy its own rules.
+        from pathlib import Path
+
+        root = Path("src/repro/artifacts")
+        sources = [
+            (str(p), p.read_text(encoding="utf-8"))
+            for p in sorted(root.glob("*.py"))
+        ]
+        assert sources, "artifacts package must exist"
+        violations = [
+            v
+            for v in lint_sources(sources)
+            if v.code in ("RPL501", "RPL502")
+        ]
+        assert violations == []

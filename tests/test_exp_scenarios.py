@@ -209,3 +209,85 @@ class TestCli:
     def test_bad_set_syntax_exits(self):
         with pytest.raises(SystemExit):
             cli_main(["run", "ldd-quality", "--set", "oops"])
+
+
+class TestChurnAndServeTrials:
+    # The registered grids run at benchmark scale (n=30000 families);
+    # these tests exercise the same trial functions at small
+    # fragmenting points via parameter overrides.
+
+    def test_churn_trial_repairs_and_validates(self):
+        spec = (
+            "ldd-churn",
+            {
+                "family": "cycle-400",
+                "eps": 0.2,
+                "r_scale": 1.0,
+                "dirty_fraction": 0.1,
+            },
+            0,
+            0,
+            None,
+            "v",
+        )
+        row = execute_trial(spec)
+        assert row["status"] == "ok", row["error"]
+        metrics = row["metrics"]
+        assert metrics["within_eps"]
+        assert metrics["base_clusters"] >= 3
+        assert metrics["rounds"] == len(metrics["repair_round_walls_s"])
+        assert metrics["repair_wall_s"] > 0
+        assert metrics["rebuild_wall_s"] > 0
+        # Structural outputs are deterministic; wall times are not.
+        timing = {
+            "repair_wall_s",
+            "rebuild_wall_s",
+            "repair_over_rebuild",
+            "repair_round_walls_s",
+            "rebuild_round_walls_s",
+        }
+        rerun = execute_trial(spec)
+        assert {
+            k: v for k, v in rerun["metrics"].items() if k not in timing
+        } == {k: v for k, v in metrics.items() if k not in timing}
+
+    def test_serve_trial_builds_once_then_loads(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_STORE", str(tmp_path))
+        spec = (
+            "ldd-serve",
+            {"family": "cycle-400", "eps": 0.2, "r_scale": 1.0},
+            0,
+            0,
+            None,
+            "v",
+        )
+        cold = execute_trial(spec)
+        assert cold["status"] == "ok", cold["error"]
+        metrics = cold["metrics"]
+        assert metrics["store_persistent"]
+        assert metrics["artifact_builds"] == 1
+        assert metrics["warm_rebuilds"] == 0
+        assert metrics["artifact_hit_rate"] > 0.5
+        assert metrics["point_p99_s"] >= metrics["point_p50_s"] >= 0
+        assert metrics["radius_p99_s"] >= metrics["radius_p50_s"] >= 0
+        # Second run against the same store: served entirely from disk.
+        warm = execute_trial(spec)
+        assert warm["status"] == "ok", warm["error"]
+        assert warm["metrics"]["artifact_builds"] == 0
+        assert warm["metrics"]["artifact_loads"] >= 1
+        assert warm["metrics"]["num_clusters"] == metrics["num_clusters"]
+
+    def test_serve_trial_without_store_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_STORE", raising=False)
+        spec = (
+            "ldd-serve",
+            {"family": "cycle-400", "eps": 0.2, "r_scale": 1.0},
+            0,
+            0,
+            None,
+            "v",
+        )
+        row = execute_trial(spec)
+        assert row["status"] == "ok", row["error"]
+        assert not row["metrics"]["store_persistent"]
+        assert row["metrics"]["artifact_builds"] == 1

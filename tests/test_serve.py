@@ -1,0 +1,162 @@
+"""Tests for the repro.serve query front end."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import Artifact, encode_decomposition
+from repro.core import LddParams, chang_li_ldd
+from repro.graphs import cycle_graph, grid_graph
+from repro.serve import (
+    DecompositionIndex,
+    QueryBatch,
+    QueryService,
+    query_workload,
+)
+
+
+def _fixture():
+    graph = cycle_graph(300)
+    params = LddParams.practical(0.2, graph.n, r_scale=1.0)
+    dec = chang_li_ldd(graph, params, seed=3)
+    assert len(dec.clusters) >= 3
+    return graph, dec
+
+
+class TestDecompositionIndex:
+    def test_matches_decomposition(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        assert index.n == graph.n
+        assert index.num_clusters == len(dec.clusters)
+        labels = index.point_to_cluster(np.arange(graph.n))
+        for cid, cluster in enumerate(dec.clusters):
+            for v in cluster:
+                assert labels[v] == cid
+        for v in dec.deleted:
+            assert labels[v] == -1
+
+    def test_from_artifact_zero_copy(self):
+        graph, dec = _fixture()
+        arrays, meta = encode_decomposition(dec, graph.n)
+        art = Artifact(digest="0" * 64, meta=meta, arrays=arrays)
+        index = DecompositionIndex.from_artifact(art)
+        assert index.labels is arrays["labels"]
+        assert index.num_clusters == len(dec.clusters)
+
+    def test_cluster_members_partition(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        seen = set()
+        for cid in range(index.num_clusters):
+            members = index.cluster_members(cid)
+            assert set(int(v) for v in members) == dec.clusters[cid]
+            assert list(members) == sorted(members)
+            seen |= set(int(v) for v in members)
+        assert seen == set(range(graph.n)) - dec.deleted
+        sizes = index.cluster_sizes()
+        assert [int(s) for s in sizes] == [
+            len(c) for c in dec.clusters
+        ]
+
+    def test_out_of_range_query_rejected(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        with pytest.raises(Exception):
+            index.point_to_cluster(np.array([graph.n]))
+        with pytest.raises(Exception):
+            index.point_to_cluster(np.array([-1]))
+
+
+class TestQueryService:
+    def test_point_queries_match_index(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        service = QueryService(graph, index)
+        batch = np.array([0, 5, 17, 299], dtype=np.int64)
+        out = service.point_to_cluster(batch)
+        assert np.array_equal(out, index.labels[batch])
+
+    def test_radius_queries_match_bfs(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        service = QueryService(graph, index)
+        sources = np.array([0, 100, 250], dtype=np.int64)
+        radius = 4
+        got = service.clusters_within_radius(sources, radius)
+        csr = graph.csr()
+        dist = csr.distances_from(sources, radius=radius)
+        for row, clusters in zip(dist, got):
+            reachable = {
+                int(index.labels[v])
+                for v in np.flatnonzero(row >= 0)
+                if index.labels[v] >= 0
+            }
+            assert set(int(c) for c in clusters) == reachable
+            assert list(clusters) == sorted(clusters)
+
+    def test_radius_zero_is_point_lookup(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        service = QueryService(graph, index)
+        sources = np.arange(0, 300, 7, dtype=np.int64)
+        got = service.clusters_within_radius(sources, 0)
+        for v, clusters in zip(sources, got):
+            label = int(index.labels[v])
+            expected = [] if label < 0 else [label]
+            assert [int(c) for c in clusters] == expected
+
+    def test_mismatched_sizes_rejected(self):
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        other = grid_graph(5, 5)
+        with pytest.raises(Exception):
+            QueryService(other, index)
+
+    def test_obs_metering(self):
+        from repro import obs
+
+        graph, dec = _fixture()
+        index = DecompositionIndex.from_decomposition(dec, graph.n)
+        service = QueryService(graph, index)
+        with obs.collect() as col:
+            service.point_to_cluster(np.array([1, 2, 3], dtype=np.int64))
+            service.clusters_within_radius(
+                np.array([0], dtype=np.int64), 2
+            )
+        counters = col.counter_table()
+        assert counters["serve.point_queries"] == 3
+        assert counters["serve.radius_queries"] == 1
+        assert counters["serve.batches"] == 2
+
+
+class TestQueryWorkload:
+    def test_deterministic(self):
+        a = query_workload(7, n=100, batches=5, batch_size=16)
+        b = query_workload(7, n=100, batches=5, batch_size=16)
+        assert len(a) == len(b) == 5
+        for x, y in zip(a, b):
+            assert np.array_equal(x.vertices, y.vertices)
+            assert x.radius is None and y.radius is None
+
+    def test_seed_sensitivity(self):
+        a = query_workload(7, n=100, batches=3, batch_size=64)
+        b = query_workload(8, n=100, batches=3, batch_size=64)
+        assert any(
+            not np.array_equal(x.vertices, y.vertices)
+            for x, y in zip(a, b)
+        )
+
+    def test_bounds_and_radius(self):
+        batches = query_workload(1, n=50, batches=4, batch_size=32, radius=3)
+        for batch in batches:
+            assert isinstance(batch, QueryBatch)
+            assert batch.radius == 3
+            assert batch.vertices.dtype == np.int64
+            assert int(batch.vertices.min()) >= 0
+            assert int(batch.vertices.max()) < 50
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(Exception):
+            query_workload(1, n=0, batches=1, batch_size=4)
+        with pytest.raises(Exception):
+            query_workload(1, n=10, batches=1, batch_size=0)
