@@ -19,7 +19,20 @@ the paper depends on:
   concentration/statistics helpers (:mod:`repro.analysis`),
 * sharded experiment orchestration — scenario registry, parallel
   trial runner, JSONL result store, ``python -m repro.exp`` CLI
-  (:mod:`repro.exp`).
+  (:mod:`repro.exp`),
+* span tracing, counters and gauges — the only clock in the algorithm
+  packages (:mod:`repro.obs`),
+* partitioned execution over simulated machines with per-round
+  communication metering (:mod:`repro.mpc`) and the shared-memory
+  worker plumbing beneath it (:mod:`repro.transport`),
+* a content-addressed persistent artifact store (:mod:`repro.artifacts`)
+  and the batched query front end over it (:mod:`repro.serve`),
+* repro-lint, the AST invariant checker for the determinism contract,
+  plus the docs link checker (:mod:`repro.devtools`).
+
+The package map with one line per subsystem is in the top-level
+``README.md``; the layer diagram and determinism boundaries are in
+``docs/ARCHITECTURE.md``.
 
 Quickstart::
 

@@ -1,0 +1,189 @@
+"""Documentation checker: markdown links resolve, README covers the tree.
+
+Two invariants, both enforced by the ``docs`` CI job:
+
+1. **Links resolve.**  Every relative link in the documentation set
+   (top-level ``*.md``, ``docs/``, and every ``*.md`` under ``src/``)
+   points at a file or directory that exists in the repository.
+   External schemes (``http``/``https``/``mailto``) and pure
+   ``#anchor`` links are skipped; a ``path#anchor`` link is checked
+   for the path only.
+
+2. **README covers the tree.**  Every package directly under
+   ``src/repro/`` is mentioned by name in the top-level ``README.md``,
+   so the package map cannot silently rot as subsystems are added.
+
+Stdlib only — runnable anywhere the repo is checked out::
+
+    PYTHONPATH=src python -m repro.devtools.docs_check
+    PYTHONPATH=src python -m repro.devtools.docs_check /path/to/repo
+
+Exit codes follow the in-tree linter's contract: 0 clean, 1 findings,
+2 usage errors (repo root not found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence
+
+__all__ = [
+    "Finding",
+    "check_links",
+    "check_readme_package_coverage",
+    "doc_files",
+    "extract_links",
+    "find_repo_root",
+    "main",
+    "run_checks",
+]
+
+# Inline markdown links: [text](target).  Images ![alt](target) match
+# too via the optional leading "!".  Targets never contain whitespace
+# in this repo's docs; an optional "title" part is tolerated.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*(?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_INLINE_CODE_RE = re.compile(r"`[^`]*`")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One documentation defect: where it is and what is wrong."""
+
+    path: str  # repo-relative posix path of the offending file
+    line: int  # 1-based, 0 when the finding is file-level
+    message: str
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: {self.message}"
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Walk up from *start* to the checkout root (has README + src/repro)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "README.md").is_file() and (
+            candidate / "src" / "repro"
+        ).is_dir():
+            return candidate
+    return None
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The documentation set: top-level *.md, docs/, and src/**/*.md.
+
+    ISSUE.md is the per-PR work order, not documentation — excluded so
+    its task prose can reference files that do not exist yet.
+    """
+    files = {p for p in root.glob("*.md") if p.name != "ISSUE.md"}
+    files.update((root / "docs").glob("**/*.md"))
+    files.update((root / "src").glob("**/*.md"))
+    return sorted(p for p in files if p.is_file())
+
+
+def extract_links(text: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line_number, target)`` for inline links outside code.
+
+    Fenced code blocks and inline code spans are stripped first: a
+    ``[i](j)`` indexing expression inside a snippet is not a link.
+    """
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(_INLINE_CODE_RE.sub("``", line)):
+            yield lineno, match.group("target")
+
+
+def check_links(root: Path, files: Sequence[Path]) -> List[Finding]:
+    """Every relative link in *files* must resolve inside the repo."""
+    findings: List[Finding] = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        for lineno, target in extract_links(path.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL_SCHEMES) or target.startswith("#"):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = (root if bare.startswith("/") else path.parent) / (
+                bare.lstrip("/")
+            )
+            if not resolved.exists():
+                findings.append(
+                    Finding(rel, lineno, f"broken link: ({target}) does not resolve")
+                )
+    return findings
+
+
+def check_readme_package_coverage(root: Path) -> List[Finding]:
+    """Every src/repro/* package must be mentioned in README.md."""
+    readme = root / "README.md"
+    text = readme.read_text(encoding="utf-8")
+    findings: List[Finding] = []
+    packages = sorted(
+        child.name
+        for child in (root / "src" / "repro").iterdir()
+        if child.is_dir() and (child / "__init__.py").is_file()
+    )
+    for name in packages:
+        # A mention is the package name as its own word: "ilp" in
+        # "repro.ilp", "`ilp`" or "src/repro/ilp" all count.
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            findings.append(
+                Finding(
+                    "README.md",
+                    0,
+                    f"package src/repro/{name} is not mentioned in README.md",
+                )
+            )
+    return findings
+
+
+def run_checks(root: Path) -> List[Finding]:
+    files = doc_files(root)
+    findings = check_links(root, files)
+    findings.extend(check_readme_package_coverage(root))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.message))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.docs_check",
+        description="check markdown links and README package coverage",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="repo root (default: discovered from the current directory)",
+    )
+    opts = parser.parse_args(argv)
+
+    start = Path(opts.root) if opts.root else Path.cwd()
+    root = find_repo_root(start.resolve())
+    if root is None:
+        print(f"docs_check: no repo root at or above {start}", file=sys.stderr)
+        return 2
+
+    findings = run_checks(root)
+    for finding in findings:
+        print(finding.render())
+    checked = len(doc_files(root))
+    if findings:
+        print(f"docs_check: {len(findings)} finding(s) in {checked} file(s)")
+        return 1
+    print(f"docs_check: OK ({checked} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

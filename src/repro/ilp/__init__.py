@@ -1,4 +1,23 @@
-"""Packing/covering ILP substrate: instances, problems, solvers."""
+"""Packing/covering ILP substrate: instances, problems, three solver tiers.
+
+Instances (:mod:`repro.ilp.instance`, :mod:`repro.ilp.problems`) feed
+three tiers of solvers:
+
+* **exact** (:mod:`repro.ilp.exact`) — enumeration, branch-and-bound
+  and a MILP cutover; optimal by construction, toy/small sizes only;
+* **greedy** (:mod:`repro.ilp.greedy`) — classic cost-effectiveness
+  baselines with their textbook ratio bounds, any size;
+* **mwu** (:mod:`repro.ilp.mwu`) — the scalable certified tier: a
+  vectorized (1+ε) multiplicative-weights solver for the fractional
+  relaxation plus randomized rounding, whose every result carries a
+  re-verifiable duality-gap certificate
+  (:mod:`repro.ilp.certificates`).
+
+``solve_packing_tiered`` / ``solve_covering_tiered`` dispatch exact
+below a size cutoff and MWU beyond it.  :mod:`repro.ilp.lp` holds the
+LP-relaxation helpers and :mod:`repro.ilp.verify` the guarantee
+assertions used by the benches.
+"""
 
 from repro.ilp.instance import (
     FEASIBILITY_TOL,
@@ -35,6 +54,21 @@ from repro.ilp.greedy import (
     matching_vertex_cover,
 )
 from repro.ilp.lp import lp_relaxation_value, milp_solve
+from repro.ilp.certificates import (
+    Certificate,
+    CertificateReport,
+    MwuProblem,
+    verify_certificate,
+)
+from repro.ilp.mwu import (
+    MwuSolution,
+    TieredSolution,
+    mwu_fractional,
+    solve_covering_mwu,
+    solve_covering_tiered,
+    solve_packing_mwu,
+    solve_packing_tiered,
+)
 from repro.ilp.integer import (
     IntegerReduction,
     integer_covering_to_binary,
@@ -77,6 +111,17 @@ __all__ = [
     "matching_vertex_cover",
     "lp_relaxation_value",
     "milp_solve",
+    "Certificate",
+    "CertificateReport",
+    "MwuProblem",
+    "verify_certificate",
+    "MwuSolution",
+    "TieredSolution",
+    "mwu_fractional",
+    "solve_covering_mwu",
+    "solve_covering_tiered",
+    "solve_packing_mwu",
+    "solve_packing_tiered",
     "IntegerReduction",
     "integer_covering_to_binary",
     "integer_packing_to_binary",

@@ -37,6 +37,18 @@ class TestStdlibRandom:
     def test_tests_exempt(self):
         assert codes("import random\n", path="tests/test_x.py") == []
 
+    def test_ilp_mwu_solver_tier_is_in_scope(self):
+        # The certified MWU tier lives at repro/ilp/mwu.py; "ilp" in
+        # DETERMINISM_PACKAGES must keep its whole subtree covered.
+        from repro.devtools.lint.engine import DETERMINISM_PACKAGES
+
+        assert "ilp" in DETERMINISM_PACKAGES
+        assert "RPL001" in codes("import random\n", path="src/repro/ilp/mwu.py")
+        assert "RPL003" in codes(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            path="src/repro/ilp/mwu.py",
+        )
+
 
 class TestNumpyGlobalState:
     def test_seed_flagged(self):

@@ -51,6 +51,8 @@ class TestRegistry:
             "mpx-failure",
             "congest-bandwidth",
             "kernel-speed",
+            "mwu-quality",
+            "mwu-scale",
         ):
             assert expected in registered
 

@@ -1,0 +1,367 @@
+"""Property suite for the MWU solver tier (repro.ilp.mwu + certificates).
+
+Covers the ISSUE-10 contract: certificate verification rejects
+corrupted solutions, MWU values stay within (1+eps) of the LP
+relaxation / exact optimum on the registry's small instances, and runs
+are bit-identical across repeated invocations and worker counts.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graphs import cycle_graph, erdos_renyi_connected, grid_graph
+from repro.ilp import (
+    lp_relaxation_value,
+    max_independent_set_ilp,
+    min_dominating_set_ilp,
+    min_vertex_cover_ilp,
+    solve_covering_exact,
+    solve_packing_exact,
+)
+from repro.ilp.certificates import (
+    Certificate,
+    MwuProblem,
+    certificate_gap,
+    covering_dual_bound,
+    packing_dual_bound,
+    verify_certificate,
+)
+from repro.ilp.instance import Constraint, CoveringInstance, PackingInstance
+from repro.ilp.mwu import (
+    MWU_COVERING_EXACT_LIMIT,
+    MWU_PACKING_EXACT_LIMIT,
+    mwu_fractional,
+    random_row_sparse_problem,
+    solve_covering_mwu,
+    solve_covering_tiered,
+    solve_packing_mwu,
+    solve_packing_tiered,
+)
+
+EPS = 0.1
+
+
+def _packing_instances():
+    return [
+        ("mis-cycle-80", max_independent_set_ilp(cycle_graph(80))),
+        ("mis-grid-7x9", max_independent_set_ilp(grid_graph(7, 9))),
+        (
+            "mis-er-56",
+            max_independent_set_ilp(
+                erdos_renyi_connected(56, 0.08, np.random.default_rng(3))
+            ),
+        ),
+    ]
+
+
+def _covering_instances():
+    return [
+        ("mds-cycle-60", min_dominating_set_ilp(cycle_graph(60))),
+        ("mds-grid-6x7", min_dominating_set_ilp(grid_graph(6, 7))),
+        ("mvc-grid-6x7", min_vertex_cover_ilp(grid_graph(6, 7))),
+    ]
+
+
+class TestCertificateVerification:
+    def _packing_cert(self):
+        inst = max_independent_set_ilp(grid_graph(5, 6))
+        problem = MwuProblem.from_instance(inst)
+        sol = solve_packing_mwu(inst, EPS, seed=0, round_trials=0)
+        return problem, sol.certificate
+
+    def _covering_cert(self):
+        inst = min_dominating_set_ilp(grid_graph(5, 6))
+        problem = MwuProblem.from_instance(inst)
+        sol = solve_covering_mwu(inst, EPS, seed=0, round_trials=0)
+        return problem, sol.certificate
+
+    def test_honest_certificates_verify(self):
+        for problem, cert in (self._packing_cert(), self._covering_cert()):
+            report = verify_certificate(problem, cert, require_gap=1.0 + EPS)
+            assert report.ok, report.failures
+            report.raise_if_invalid()
+            assert cert.within()
+
+    def test_corrupted_primal_rejected(self):
+        problem, cert = self._covering_cert()
+        # Shrinking a covering primal makes it infeasible.
+        bad = dataclasses.replace(cert, x=cert.x * 0.5)
+        report = verify_certificate(problem, bad)
+        assert not report.ok
+        assert any("infeasible" in f for f in report.failures)
+
+    def test_packing_box_violation_rejected(self):
+        problem, cert = self._packing_cert()
+        bad = dataclasses.replace(cert, x=cert.x + 2.0)
+        report = verify_certificate(problem, bad)
+        assert not report.ok
+
+    def test_inflated_primal_value_claim_rejected(self):
+        problem, cert = self._packing_cert()
+        bad = dataclasses.replace(cert, primal_value=cert.primal_value * 1.5)
+        report = verify_certificate(problem, bad)
+        assert not report.ok
+        assert any("primal value" in f for f in report.failures)
+
+    def test_overtight_dual_claim_rejected(self):
+        # Packing: claiming a smaller upper bound than y supports.
+        problem, cert = self._packing_cert()
+        bad = dataclasses.replace(
+            cert, dual_bound=cert.dual_bound * 0.5, gap=cert.gap * 0.5
+        )
+        assert not verify_certificate(problem, bad).ok
+        # Covering: claiming a larger lower bound than y supports.
+        problem, cert = self._covering_cert()
+        bad = dataclasses.replace(
+            cert, dual_bound=cert.dual_bound * 2.0, gap=cert.gap / 2.0
+        )
+        assert not verify_certificate(problem, bad).ok
+
+    def test_corrupted_dual_vector_rejected(self):
+        problem, cert = self._covering_cert()
+        # Zeroing y collapses the recomputed lower bound; the claimed
+        # bound then exceeds what the vector supports.
+        bad = dataclasses.replace(cert, y=cert.y * 0.0)
+        report = verify_certificate(problem, bad)
+        assert not report.ok
+
+    def test_negative_and_nonfinite_vectors_rejected(self):
+        problem, cert = self._packing_cert()
+        neg = dataclasses.replace(cert, x=cert.x - 1.0)
+        assert not verify_certificate(problem, neg).ok
+        nan = dataclasses.replace(cert, y=np.full_like(cert.y, np.nan))
+        assert not verify_certificate(problem, nan).ok
+
+    def test_shape_and_kind_mismatch_rejected(self):
+        problem, cert = self._packing_cert()
+        short = dataclasses.replace(cert, x=cert.x[:-1])
+        assert not verify_certificate(problem, short).ok
+        wrong_kind = dataclasses.replace(cert, kind="covering")
+        assert not verify_certificate(problem, wrong_kind).ok
+
+    def test_require_gap_enforced(self):
+        problem, cert = self._covering_cert()
+        report = verify_certificate(problem, cert, require_gap=1.0001)
+        if cert.gap > 1.0001:
+            assert not report.ok
+            assert any("required" in f for f in report.failures)
+
+    def test_gap_orientation(self):
+        assert certificate_gap("packing", 10.0, 11.0) == pytest.approx(1.1)
+        assert certificate_gap("covering", 11.0, 10.0) == pytest.approx(1.1)
+        assert certificate_gap("packing", 0.0, 0.0) == 1.0
+        assert certificate_gap("covering", 1.0, 0.0) == float("inf")
+
+
+class TestDualBounds:
+    def test_packing_completion_is_valid_for_any_y(self):
+        inst = max_independent_set_ilp(grid_graph(4, 5))
+        problem = MwuProblem.from_instance(inst)
+        opt = solve_packing_exact(inst).weight
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            y = rng.random(problem.m) * 2.0
+            assert packing_dual_bound(problem, y) >= opt - 1e-9
+
+    def test_covering_bound_is_valid_for_any_y(self):
+        inst = min_dominating_set_ilp(grid_graph(4, 5))
+        problem = MwuProblem.from_instance(inst)
+        opt = solve_covering_exact(inst).weight
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            y = rng.random(problem.m) * 5.0
+            assert covering_dual_bound(problem, y) <= opt + 1e-9
+
+
+class TestQuality:
+    @pytest.mark.parametrize("name,inst", _packing_instances())
+    def test_packing_within_eps_of_lp_and_opt(self, name, inst):
+        sol = solve_packing_mwu(inst, EPS, seed=1)
+        cert = sol.certificate
+        report = verify_certificate(
+            MwuProblem.from_instance(inst), cert, require_gap=1.0 + EPS
+        )
+        assert report.ok, (name, report.failures)
+        lp = lp_relaxation_value(inst)
+        opt = solve_packing_exact(inst).weight
+        # dual_bound >= lp >= opt; frac * gap = bound  =>  ratios <= gap.
+        assert cert.dual_bound >= lp - 1e-6
+        assert lp / cert.primal_value <= 1.0 + EPS + 1e-9
+        assert opt / cert.primal_value <= 1.0 + EPS + 1e-9
+        assert sol.chosen is not None
+        assert inst.is_feasible(sol.chosen)
+        assert sol.weight == pytest.approx(
+            sum(inst.weights[j] for j in sol.chosen)
+        )
+
+    @pytest.mark.parametrize("name,inst", _covering_instances())
+    def test_covering_within_eps_of_lp_and_opt(self, name, inst):
+        sol = solve_covering_mwu(inst, EPS, seed=1)
+        cert = sol.certificate
+        report = verify_certificate(
+            MwuProblem.from_instance(inst), cert, require_gap=1.0 + EPS
+        )
+        assert report.ok, (name, report.failures)
+        lp = lp_relaxation_value(inst)
+        opt = solve_covering_exact(inst).weight
+        assert cert.dual_bound <= lp + 1e-6
+        assert cert.primal_value / lp <= 1.0 + EPS + 1e-9
+        assert cert.primal_value / opt <= 1.0 + EPS + 1e-9
+        assert sol.chosen is not None
+        assert inst.is_feasible(sol.chosen)
+
+    def test_zero_weight_columns_handled(self):
+        inst = min_dominating_set_ilp(grid_graph(4, 4), weights=[0.0] + [1.0] * 15)
+        sol = solve_covering_mwu(inst, EPS, seed=0)
+        report = verify_certificate(MwuProblem.from_instance(inst), sol.certificate)
+        assert report.ok, report.failures
+        assert inst.is_feasible(sol.chosen)
+
+    def test_unsatisfiable_covering_raises(self):
+        inst = CoveringInstance(
+            weights=(1.0,),
+            constraints=(Constraint(coefficients={0: 1.0}, bound=5.0),),
+        )
+        with pytest.raises(ValueError):
+            solve_covering_mwu(inst, EPS, seed=0)
+
+
+class TestDeterminism:
+    def test_bit_identical_repeated_runs(self):
+        inst = max_independent_set_ilp(grid_graph(6, 8))
+        a = solve_packing_mwu(inst, EPS, seed=3)
+        b = solve_packing_mwu(inst, EPS, seed=3)
+        assert np.array_equal(a.certificate.x, b.certificate.x)
+        assert np.array_equal(a.certificate.y, b.certificate.y)
+        assert a.certificate.gap == b.certificate.gap
+        assert a.chosen == b.chosen and a.weight == b.weight
+
+    def test_bit_identical_across_kernel_worker_env(self, monkeypatch):
+        # The MWU tier is pure numpy/scipy: REPRO_KERNEL_WORKERS must not
+        # leak into its results.
+        inst = min_dominating_set_ilp(grid_graph(6, 8))
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "1")
+        a = solve_covering_mwu(inst, EPS, seed=3)
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "4")
+        b = solve_covering_mwu(inst, EPS, seed=3)
+        assert np.array_equal(a.certificate.x, b.certificate.x)
+        assert a.chosen == b.chosen and a.weight == b.weight
+
+    def test_scenario_rows_identical_across_worker_counts(self, tmp_path):
+        from repro.exp import get, run_scenario, strip_timing
+        from repro.exp.store import ResultStore
+
+        overrides = {"instance": ["mds-grid-6x7"], "eps": [0.1]}
+        runs = []
+        for workers, sub in ((0, "serial"), (2, "sharded")):
+            store = ResultStore(tmp_path / sub)
+            result = run_scenario(
+                get("mwu-quality"),
+                store=store,
+                workers=workers,
+                trials=2,
+                overrides=overrides,
+            )
+            runs.append([strip_timing(row) for row in result.rows])
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_may_differ_but_both_verify(self):
+        inst = min_dominating_set_ilp(grid_graph(6, 8))
+        problem = MwuProblem.from_instance(inst)
+        for seed in (0, 1):
+            sol = solve_covering_mwu(inst, EPS, seed=seed)
+            assert verify_certificate(problem, sol.certificate).ok
+            assert inst.is_feasible(sol.chosen)
+
+
+class TestTieredDispatch:
+    def test_small_instances_go_exact(self):
+        inst = max_independent_set_ilp(grid_graph(5, 6))
+        assert inst.n <= MWU_PACKING_EXACT_LIMIT
+        tiered = solve_packing_tiered(inst)
+        exact = solve_packing_exact(inst)
+        assert tiered.tier == "exact"
+        assert tiered.weight == exact.weight
+        assert tiered.certificate is None
+
+    def test_above_cutoff_goes_mwu_with_certificate(self):
+        inst = max_independent_set_ilp(grid_graph(5, 6))
+        tiered = solve_packing_tiered(inst, EPS, seed=0, exact_limit=10)
+        assert tiered.tier == "mwu"
+        assert tiered.certificate is not None
+        assert verify_certificate(
+            MwuProblem.from_instance(inst), tiered.certificate
+        ).ok
+        assert inst.is_feasible(tiered.chosen)
+
+    def test_covering_tiers(self):
+        inst = min_dominating_set_ilp(grid_graph(5, 6))
+        assert inst.n <= MWU_COVERING_EXACT_LIMIT
+        assert solve_covering_tiered(inst).tier == "exact"
+        tiered = solve_covering_tiered(inst, EPS, seed=0, exact_limit=10)
+        assert tiered.tier == "mwu"
+        assert inst.is_feasible(tiered.chosen)
+        assert verify_certificate(
+            MwuProblem.from_instance(inst), tiered.certificate
+        ).ok
+
+
+class TestProblemForm:
+    def test_from_instance_drops_trivial_covering_rows(self):
+        inst = CoveringInstance(
+            weights=(1.0, 1.0),
+            constraints=(
+                Constraint(coefficients={0: 1.0}, bound=0.0),
+                Constraint(coefficients={1: 1.0}, bound=1.0),
+            ),
+        )
+        problem = MwuProblem.from_instance(inst)
+        assert problem.m == 1
+
+    def test_from_instance_forces_zero_bound_packing_support(self):
+        inst = PackingInstance(
+            weights=(5.0, 1.0),
+            constraints=(
+                Constraint(coefficients={0: 1.0}, bound=0.0),
+                Constraint(coefficients={1: 1.0}, bound=1.0),
+            ),
+        )
+        problem = MwuProblem.from_instance(inst)
+        assert problem.m == 1
+        assert problem.weights[0] == 0.0  # forced out of the objective
+
+    def test_from_arrays_rejects_nonpositive_entries(self):
+        mat = sparse.csr_matrix(np.array([[1.0, -1.0], [0.0, 2.0]]))
+        with pytest.raises(ValueError):
+            MwuProblem.from_arrays("packing", [1.0, 1.0], mat, [1.0, 1.0])
+
+    def test_random_row_sparse_problem_smoke(self):
+        for kind in ("packing", "covering"):
+            problem = random_row_sparse_problem(kind, 2000, seed=5)
+            assert problem.kind == kind
+            assert problem.n == 2000 and problem.m == 1000
+            cert = mwu_fractional(problem, 0.2)
+            report = verify_certificate(problem, cert, require_gap=1.2)
+            assert report.ok, (kind, report.failures)
+
+    def test_random_problem_is_seed_deterministic(self):
+        a = random_row_sparse_problem("covering", 500, seed=9)
+        b = random_row_sparse_problem("covering", 500, seed=9)
+        assert np.array_equal(a.weights, b.weights)
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_certificate_within_uses_own_eps(self):
+        cert = Certificate(
+            kind="packing",
+            eps=0.1,
+            x=np.zeros(1),
+            y=np.zeros(1),
+            primal_value=1.0,
+            dual_bound=1.05,
+            gap=1.05,
+        )
+        assert cert.within()
+        assert not cert.within(0.01)
